@@ -1,0 +1,210 @@
+package cable_test
+
+// Benchmark harness: one testing.B target per table/figure of the
+// paper's evaluation (§VI). Each bench runs the corresponding
+// experiment driver at reduced scale and reports the headline metric of
+// that figure via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in miniature. cmd/cablereport runs
+// the same drivers at full scale.
+
+import (
+	"testing"
+
+	"cable"
+)
+
+// runExperiment executes an experiment once per benchmark iteration and
+// reports metric(result) under the given unit.
+func runExperiment(b *testing.B, id string, metric func(*cable.ExperimentResult) float64, unit string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := cable.RunExperiment(id, cable.ExperimentOptions{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = metric(res)
+	}
+	b.ReportMetric(last, unit)
+	b.ReportMetric(0, "ns/op") // wall time is not the result here
+}
+
+func BenchmarkFig03DictionarySize(b *testing.B) {
+	runExperiment(b, "fig3", func(r *cable.ExperimentResult) float64 {
+		rows := r.Table.Rows()
+		return r.Table.Get(rows[len(rows)-1], "ideal") / r.Table.Get(rows[0], "ideal")
+	}, "ideal-growth-x")
+}
+
+func BenchmarkFig11RelativeCompression(b *testing.B) {
+	runExperiment(b, "fig11", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "cable")
+	}, "cable-vs-cpack-x")
+}
+
+func BenchmarkFig12RawCompression(b *testing.B) {
+	runExperiment(b, "fig12", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "cable")
+	}, "cable-ratio-x")
+}
+
+func BenchmarkFig13Coherence(b *testing.B) {
+	runExperiment(b, "fig13", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "cable")
+	}, "cable-ratio-x")
+}
+
+func BenchmarkFig14aThroughput(b *testing.B) {
+	runExperiment(b, "fig14a", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "cable")
+	}, "cable-speedup-x")
+}
+
+func BenchmarkFig14bThreadSweep(b *testing.B) {
+	runExperiment(b, "fig14b", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("2048 threads", "cable")
+	}, "speedup-at-2048-x")
+}
+
+func BenchmarkFig15Cooperative(b *testing.B) {
+	runExperiment(b, "fig15", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "cable-multi4") / r.Table.Get("mean", "cable-single")
+	}, "cable-multi4-gain-x")
+}
+
+func BenchmarkFig16Destructive(b *testing.B) {
+	runExperiment(b, "fig16", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "gzip")
+	}, "gzip-pollution-rel")
+}
+
+func BenchmarkFig17LatencyOverhead(b *testing.B) {
+	runExperiment(b, "fig17", func(r *cable.ExperimentResult) float64 {
+		return 100 * r.Table.Get("mean", "cable")
+	}, "cable-loss-pct")
+}
+
+func BenchmarkFig18Energy(b *testing.B) {
+	runExperiment(b, "fig18", func(r *cable.ExperimentResult) float64 {
+		return 100 * (1 - r.Table.Get("mean", "cable-total"))
+	}, "energy-saved-pct")
+}
+
+func BenchmarkFig19aCacheSize(b *testing.B) {
+	runExperiment(b, "fig19a", func(r *cable.ExperimentResult) float64 {
+		rows := r.Table.Rows()
+		return r.Table.Get(rows[len(rows)-1], "cable")
+	}, "cable-at-max-llc-x")
+}
+
+func BenchmarkFig19bL4Ratio(b *testing.B) {
+	runExperiment(b, "fig19b", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("1:8", "cable") / r.Table.Get("1:2", "cable")
+	}, "l4-ratio-sensitivity")
+}
+
+func BenchmarkFig20Engines(b *testing.B) {
+	runExperiment(b, "fig20", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("mean", "oracle")
+	}, "oracle-ratio-x")
+}
+
+func BenchmarkFig21HashTableSize(b *testing.B) {
+	runExperiment(b, "fig21", func(r *cable.ExperimentResult) float64 {
+		rows := r.Table.Rows()
+		return r.Table.Get(rows[len(rows)-1], "relative")
+	}, "smallest-table-rel")
+}
+
+func BenchmarkFig22AccessCount(b *testing.B) {
+	runExperiment(b, "fig22", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("1", "relative")
+	}, "one-access-rel")
+}
+
+func BenchmarkFig23LinkWidth(b *testing.B) {
+	runExperiment(b, "fig23", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("64-bit-packed", "cable") / r.Table.Get("64-bit", "cable")
+	}, "packed-recovery-x")
+}
+
+func BenchmarkTab03Area(b *testing.B) {
+	runExperiment(b, "tab3", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("off-chip buffer", "hash-table-%")
+	}, "buffer-ht-pct")
+}
+
+func BenchmarkTogglesReduction(b *testing.B) {
+	runExperiment(b, "toggles", func(r *cable.ExperimentResult) float64 {
+		return 100 * r.Table.Get("mean", "cable")
+	}, "toggle-reduction-pct")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("cable vs cpack", "value")
+	}, "cable-vs-cpack-x")
+}
+
+func BenchmarkOnOffControl(b *testing.B) {
+	runExperiment(b, "onoff", func(r *cable.ExperimentResult) float64 {
+		return 100 * r.Table.Get("mean", "adaptive-loss")
+	}, "adaptive-loss-pct")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkEncodeFill(b *testing.B) {
+	cfg := cable.DefaultMemoryLinkConfig("dealII")
+	cfg.AccessesPerProgram = 1 // construct only
+	cfg.WithMeters = false
+	cfg.Chip.LLCBytes = 256 << 10
+	cfg.Chip.L4Bytes = 1 << 20
+	res, err := cable.RunMemoryLink(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	// Measure end-to-end protocol throughput: accesses per second on
+	// a warm chip.
+	cfg.AccessesPerProgram = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cable.RunMemoryLink(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineCompress(b *testing.B) {
+	line := make([]byte, 64)
+	ref := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i * 31)
+		ref[i] = byte(i * 31)
+	}
+	ref[5] ^= 0xFF
+	refs := [][]byte{ref}
+	for _, name := range []string{"bdi", "cpack", "lbe", "oracle"} {
+		e, err := cable.NewEngine(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(64)
+			for i := 0; i < b.N; i++ {
+				e.Compress(line, refs)
+			}
+		})
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "ablation", func(r *cable.ExperimentResult) float64 {
+		return r.Table.Get("baseline (17b LIDs, depth 2, 2 sigs)", "ratio") /
+			r.Table.Get("40b tag pointers (no WMT)", "ratio")
+	}, "wmt-pointer-gain-x")
+}

@@ -1,0 +1,238 @@
+// Package cable is a library implementation of CABLE — a CAche-Based
+// Link Encoder for bandwidth-starved manycores (Nguyen, Fuchs,
+// Wentzlaff; MICRO 2018).
+//
+// CABLE compresses point-to-point links between coherent caches by
+// re-purposing the data already resident in those caches as a massive,
+// scalable compression dictionary. The larger "home" cache (an off-chip
+// DRAM-buffer L4, or a home node's LLC across a coherence link) finds
+// cache lines similar to the one being sent, compresses the line as a
+// DIFF against up to three reference lines known — via its Way-Map
+// Table — to also be resident in the smaller "remote" cache, and
+// transmits short index+way pointers (RemoteLIDs) instead of raw data.
+//
+// # Layers
+//
+// The package exposes three layers:
+//
+//   - The protocol layer: NewLink builds a HomeEnd/RemoteEnd pair over
+//     two caches you drive yourself (see examples/quickstart).
+//   - The simulation layer: RunMemoryLink, RunMultiChip and RunTiming
+//     reproduce the paper's evaluation systems over synthetic SPEC2006
+//     workload models (see examples/memlink and examples/multichip).
+//   - The experiment layer: RunExperiment regenerates any table or
+//     figure of the paper by id (see cmd/cablereport).
+//
+// All compression engines are bit-exact: every payload decodes to the
+// original line, and the simulators verify this on every transfer.
+package cable
+
+import (
+	"cable/internal/cache"
+	"cable/internal/compress"
+	"cable/internal/core"
+	"cable/internal/experiments"
+	"cable/internal/link"
+	"cable/internal/sim"
+	"cable/internal/workload"
+)
+
+// Cache is a set-associative, coherent cache model; CABLE link ends
+// attach to a pair of them.
+type Cache = cache.Cache
+
+// CacheConfig describes a cache geometry.
+type CacheConfig = cache.Config
+
+// LineID identifies a cache line by physical position (index + way) —
+// the compact pointer CABLE transmits instead of address tags.
+type LineID = cache.LineID
+
+// State is a cache-coherence state. Only Shared lines serve as
+// compression references.
+type State = cache.State
+
+// Coherence states.
+const (
+	Invalid   = cache.Invalid
+	Shared    = cache.Shared
+	Exclusive = cache.Exclusive
+	Modified  = cache.Modified
+)
+
+// Config holds the CABLE framework parameters (§VI-A of the paper):
+// search width, data access count, reference count, hash table sizing,
+// the delegated engine, and the standalone-compression threshold.
+type Config = core.Config
+
+// Payload is the unit CABLE transmits: a 1-bit flag, a 2-bit reference
+// count, the RemoteLIDs, and the variable-length DIFF.
+type Payload = core.Payload
+
+// HomeEnd is the compressing side of a link (the larger cache).
+type HomeEnd = core.HomeEnd
+
+// RemoteEnd is the decompressing side of a link (the smaller cache).
+type RemoteEnd = core.RemoteEnd
+
+// Engine is a pluggable per-line compression algorithm; CABLE is a
+// framework and delegates the actual DIFF coding to one of these.
+type Engine = compress.Engine
+
+// LinkConfig describes the physical link (width, frequency, packing).
+type LinkConfig = link.Config
+
+// DefaultConfig returns the paper's baseline CABLE parameters
+// (16 search signatures, 6 data accesses, 3 references, 2-deep
+// full-sized hash table, LBE engine, 16x standalone threshold).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultLinkConfig returns the paper's 16-bit 9.6 GHz off-chip link.
+func DefaultLinkConfig() LinkConfig { return link.DefaultConfig() }
+
+// NewCache builds a cache; geometry must be power-of-two sets.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cache.New(cfg), nil
+}
+
+// NewLink builds a CABLE pipeline between a home cache and a remote
+// cache. The home cache must be at least as large (in sets) as the
+// remote cache and is assumed inclusive of it.
+func NewLink(cfg Config, home, remote *Cache) (*HomeEnd, *RemoteEnd, error) {
+	he, err := core.NewHomeEnd(cfg, home, remote)
+	if err != nil {
+		return nil, nil, err
+	}
+	re, err := core.NewRemoteEnd(cfg, remote)
+	if err != nil {
+		return nil, nil, err
+	}
+	return he, re, nil
+}
+
+// NewEngine builds a compression engine by name: "cpack", "cpack128",
+// "bdi", "fpc", "lbe", "lbe256", "zero", "oracle" or "gzip-seeded".
+func NewEngine(name string) (Engine, error) { return compress.NewEngine(name) }
+
+// Engines lists the built-in engine names.
+func Engines() []string {
+	return []string{"bdi", "cpack", "cpack128", "fpc", "lbe", "lbe256", "zero", "oracle", "gzip-seeded"}
+}
+
+// Benchmarks lists the synthetic SPEC2006 workload models.
+func Benchmarks() []string { return workload.Names() }
+
+// MemoryLinkConfig configures the functional off-chip memory-link
+// simulation (LLC + L4 + CABLE + baseline compressors).
+type MemoryLinkConfig = sim.MemLinkConfig
+
+// MemoryLinkResult holds per-scheme compression ratios.
+type MemoryLinkResult = sim.MemLinkResult
+
+// DefaultMemoryLinkConfig returns the Table IV memory-link setup for
+// the given co-running benchmarks.
+func DefaultMemoryLinkConfig(benchmarks ...string) MemoryLinkConfig {
+	return sim.DefaultMemLinkConfig(benchmarks...)
+}
+
+// RunMemoryLink runs the functional memory-link simulation.
+func RunMemoryLink(cfg MemoryLinkConfig) (*MemoryLinkResult, error) {
+	return sim.RunMemoryLink(cfg)
+}
+
+// MultiChipConfig configures the 4-chip NUMA coherence simulation.
+type MultiChipConfig = sim.MultiChipConfig
+
+// MultiChipResult holds coherence-link compression ratios.
+type MultiChipResult = sim.MultiChipResult
+
+// DefaultMultiChipConfig returns the paper's 4-node NUMA setup.
+func DefaultMultiChipConfig(benchmark string) MultiChipConfig {
+	return sim.DefaultMultiChipConfig(benchmark)
+}
+
+// RunMultiChip runs the coherence-link simulation.
+func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
+	return sim.RunMultiChip(cfg)
+}
+
+// TimingConfig configures the cycle-approximate throughput/latency
+// simulation.
+type TimingConfig = sim.TimingConfig
+
+// TimingResult reports IPC, throughput, utilization and energy counts.
+type TimingResult = sim.TimingResult
+
+// DefaultTimingConfig returns the Table IV timing setup.
+func DefaultTimingConfig(scheme, benchmark string) TimingConfig {
+	return sim.DefaultTimingConfig(scheme, benchmark)
+}
+
+// RunTiming runs the timing simulation.
+func RunTiming(cfg TimingConfig) (*TimingResult, error) {
+	return sim.RunTiming(cfg)
+}
+
+// WayMap abstracts the way-map table; SuperWMT pools one across links.
+type WayMap = core.WayMap
+
+// SuperWMT is the §IV-D extension: a single capacity-managed way-map
+// pool competitively shared by several links, in place of per-link
+// full WMTs.
+type SuperWMT = core.SuperWMT
+
+// NewSuperWMT builds a pooled way-map with roughly capacity entries.
+func NewSuperWMT(capacity, ways int, home, remote *Cache) *SuperWMT {
+	return core.NewSuperWMT(capacity, ways, home, remote)
+}
+
+// NewLinkWithWayMap builds a CABLE pipeline whose home end uses an
+// explicit way-map — typically a SuperWMT view.
+func NewLinkWithWayMap(cfg Config, home, remote *Cache, wm WayMap) (*HomeEnd, *RemoteEnd, error) {
+	he, err := core.NewHomeEndWithWayMap(cfg, home, remote, wm)
+	if err != nil {
+		return nil, nil, err
+	}
+	re, err := core.NewRemoteEnd(cfg, remote)
+	if err != nil {
+		return nil, nil, err
+	}
+	return he, re, nil
+}
+
+// NonInclusiveConfig configures the §IV-C non-inclusive Home Agent
+// simulation (opportunistic compression, write-backs uncompressed).
+type NonInclusiveConfig = sim.NonInclusiveConfig
+
+// NonInclusiveResult reports the opportunistic-compression outcome.
+type NonInclusiveResult = sim.NonInclusiveResult
+
+// DefaultNonInclusiveConfig returns a Haswell-EP-style setup.
+func DefaultNonInclusiveConfig(benchmark string) NonInclusiveConfig {
+	return sim.DefaultNonInclusiveConfig(benchmark)
+}
+
+// RunNonInclusive runs the non-inclusive simulation.
+func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
+	return sim.RunNonInclusive(cfg)
+}
+
+// ExperimentOptions tune experiment scale (Quick shrinks runs for CI).
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// Experiments lists every reproducible table/figure id.
+func Experiments() []string { return experiments.IDs() }
+
+// DescribeExperiment returns the one-line description of an id.
+func DescribeExperiment(id string) string { return experiments.Describe(id) }
+
+// RunExperiment regenerates one table/figure of the paper.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opt)
+}

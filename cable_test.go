@@ -1,0 +1,171 @@
+package cable_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"cable"
+)
+
+func TestPublicAPILinkRoundTrip(t *testing.T) {
+	home, err := cable.NewCache(cable.CacheConfig{Name: "l4", SizeBytes: 128 << 10, Ways: 16, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := cable.NewCache(cable.CacheConfig{Name: "llc", SizeBytes: 32 << 10, Ways: 8, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, re, err := cable.NewLink(cable.DefaultConfig(), home, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineA := make([]byte, 64)
+	for i := range lineA {
+		lineA[i] = byte(i*3 + 1)
+	}
+	lineB := append([]byte(nil), lineA...)
+	binary.LittleEndian.PutUint32(lineB[12:], 0x12345678)
+	home.Insert(0x40, lineA, cable.Shared)
+	home.Insert(0x91, lineB, cable.Shared)
+
+	fill := func(addr uint64, want []byte) *cable.Payload {
+		idx := remote.IndexOf(addr)
+		way := remote.VictimWay(idx)
+		p, _, err := he.EncodeFill(addr, cable.Shared, way)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := re.DecodeFill(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fill %#x mismatch", addr)
+		}
+		remote.InsertAt(addr, got, cable.Shared, way)
+		re.OnFillInstalled(cable.LineID{Index: idx, Way: way}, got, cable.Shared)
+		return &p
+	}
+	fill(0x40, lineA)
+	p := fill(0x91, lineB)
+	if !p.Compressed || len(p.Refs) == 0 {
+		t.Fatalf("second fill should reference the first: %+v", p)
+	}
+	if bits := p.Bits(he.RemoteLIDBits()); bits >= 200 {
+		t.Fatalf("near-copy cost %d bits, want ≪ 513", bits)
+	}
+}
+
+func TestNewCacheValidates(t *testing.T) {
+	if _, err := cable.NewCache(cable.CacheConfig{Name: "bad", SizeBytes: 100, Ways: 3, LineSize: 64}); err == nil {
+		t.Fatal("invalid geometry should error")
+	}
+}
+
+func TestNewLinkValidates(t *testing.T) {
+	small, _ := cable.NewCache(cable.CacheConfig{Name: "s", SizeBytes: 8 << 10, Ways: 8, LineSize: 64})
+	big, _ := cable.NewCache(cable.CacheConfig{Name: "b", SizeBytes: 64 << 10, Ways: 8, LineSize: 64})
+	bad := cable.DefaultConfig()
+	bad.MaxRefs = 9
+	if _, _, err := cable.NewLink(bad, big, small); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	if _, _, err := cable.NewLink(cable.DefaultConfig(), big, small); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginesRegistry(t *testing.T) {
+	for _, name := range cable.Engines() {
+		e, err := cable.NewEngine(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		line := make([]byte, 64)
+		line[7] = 0xAB
+		enc := e.Compress(line, nil)
+		got, err := e.Decompress(enc, nil, 64)
+		if err != nil || !bytes.Equal(got, line) {
+			t.Fatalf("%s: round trip failed: %v", name, err)
+		}
+	}
+}
+
+func TestBenchmarksListed(t *testing.T) {
+	if len(cable.Benchmarks()) != 29 {
+		t.Fatalf("benchmarks = %d, want 29", len(cable.Benchmarks()))
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := cable.Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	for _, id := range ids {
+		if cable.DescribeExperiment(id) == "" {
+			t.Fatalf("%s lacks a description", id)
+		}
+	}
+}
+
+func TestPublicSimulations(t *testing.T) {
+	ml := cable.DefaultMemoryLinkConfig("gobmk")
+	ml.AccessesPerProgram = 4000
+	ml.Chip.LLCBytes = 64 << 10
+	ml.Chip.L4Bytes = 256 << 10
+	res, err := cable.RunMemoryLink(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio("cable") <= 1 {
+		t.Fatalf("cable ratio %.2f", res.Ratio("cable"))
+	}
+
+	mc := cable.DefaultMultiChipConfig("gobmk")
+	mc.Accesses = 4000
+	mc.LLCBytes = 64 << 10
+	mres, err := cable.RunMultiChip(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.RemoteFills == 0 {
+		t.Fatal("no coherence traffic")
+	}
+
+	tc := cable.DefaultTimingConfig("cable", "gobmk")
+	tc.Threads, tc.TotalTh = 2, 256
+	tc.InstrPerTh = 50_000
+	tc.LLCPerThread = 32 << 10
+	tres, err := cable.RunTiming(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.IPCPerThread <= 0 {
+		t.Fatal("no progress in timing sim")
+	}
+}
+
+func TestPublicExtensions(t *testing.T) {
+	home, _ := cable.NewCache(cable.CacheConfig{Name: "h", SizeBytes: 64 << 10, Ways: 16, LineSize: 64})
+	remote, _ := cable.NewCache(cable.CacheConfig{Name: "r", SizeBytes: 16 << 10, Ways: 8, LineSize: 64})
+	pool := cable.NewSuperWMT(128, 4, home, remote)
+	he, re, err := cable.NewLinkWithWayMap(cable.DefaultConfig(), home, remote, pool.View(0))
+	if err != nil || he == nil || re == nil {
+		t.Fatal(err)
+	}
+
+	ni := cable.DefaultNonInclusiveConfig("gobmk")
+	ni.Accesses = 3000
+	ni.RemoteBytes = 64 << 10
+	ni.HomeBytes = 128 << 10
+	res, err := cable.RunNonInclusive(ni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cable.Value() <= 1 {
+		t.Fatalf("non-inclusive ratio %.2f", res.Cable.Value())
+	}
+}

@@ -1,0 +1,66 @@
+// Command cablereport regenerates every table and figure of the
+// paper's evaluation and emits a Markdown report (the data behind
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	cablereport            # full scale (minutes)
+//	cablereport -quick     # reduced scale
+//	cablereport -o out.md  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cable"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale runs")
+	out := flag.String("o", "", "output file (default stdout)")
+	only := flag.String("exp", "", "single experiment id to run")
+	charts := flag.Bool("charts", false, "render ASCII bar charts under each table")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := cable.Experiments()
+	if *only != "" {
+		ids = []string{*only}
+	}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
+	for _, id := range ids {
+		start := time.Now()
+		res, err := cable.RunExperiment(id, cable.ExperimentOptions{Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\n", res.Table)
+		if *charts {
+			fmt.Fprintf(w, "```\n%s```\n\n", res.Table.ChartAll())
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "> %s\n", n)
+		}
+		fmt.Fprintf(w, "\n_(%s: %s, %.1fs)_\n\n", id, cable.DescribeExperiment(id), time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "done %-8s %.1fs\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,44 @@
+// Command cablesim runs one experiment from the paper's evaluation and
+// prints its table.
+//
+// Usage:
+//
+//	cablesim -exp fig12            # full-scale run
+//	cablesim -exp fig14a -quick    # reduced scale (seconds)
+//	cablesim -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cable"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range cable.Experiments() {
+			fmt.Printf("%-10s %s\n", id, cable.DescribeExperiment(id))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "cablesim: -exp required (or -list); e.g. cablesim -exp fig12 -quick")
+		os.Exit(2)
+	}
+	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table)
+	for _, n := range res.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+}

@@ -1,0 +1,81 @@
+// Extensions: the paper's §IV design variants, side by side.
+//
+// Baseline CABLE assumes inclusive caches, non-silent evictions and
+// point-to-point ordered links. Section IV relaxes each assumption:
+//
+//   - §IV-B silent evictions: with a 1-1 home mapping, clean victims
+//     need no eviction notices — the home tracks displacement from the
+//     replacement-way info already in every request.
+//   - §IV-C non-inclusive hierarchies: a Home Agent that does not cache
+//     everything the remote holds compresses opportunistically and
+//     sends write-backs reference-free.
+//   - §IV-D super-WMT: many links pool one capacity-managed way-map
+//     instead of per-link full tables.
+//
+// Run with: go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cable"
+)
+
+func main() {
+	const bench = "dealII"
+
+	// Baseline inclusive memory link.
+	base := cable.DefaultMemoryLinkConfig(bench)
+	base.AccessesPerProgram = 20000
+	base.Chip.LLCBytes = 256 << 10
+	base.Chip.L4Bytes = 1 << 20
+	base.WithMeters = false
+	b, err := cable.RunMemoryLink(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (inclusive, explicit evictions):   %5.2fx, %6d eviction notices\n",
+		b.Ratio("cable"), b.Chip.Notices)
+
+	// §IV-B: silent evictions.
+	silent := base
+	silent.Chip.SilentEvictions = true
+	s, err := cable.RunMemoryLink(silent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("silent evictions (§IV-B):                   %5.2fx, %6d eviction notices\n",
+		s.Ratio("cable"), s.Chip.Notices)
+
+	// §IV-C: non-inclusive Home Agent.
+	ni := cable.DefaultNonInclusiveConfig(bench)
+	ni.Accesses = 20000
+	ni.RemoteBytes = 256 << 10
+	ni.HomeBytes = 512 << 10
+	n, err := cable.RunNonInclusive(ni)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-inclusive home agent (§IV-C):           %5.2fx, %6d forwarded fills\n",
+		n.Cable.Value(), n.ForwardedFills)
+
+	// §IV-D: pooled super-WMT on the 4-chip coherence links.
+	mc := cable.DefaultMultiChipConfig(bench)
+	mc.Accesses = 20000
+	mc.LLCBytes = 256 << 10
+	mc.WithMeters = false
+	private, err := cable.RunMultiChip(mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc.PooledWMT = true
+	mc.PooledWMTFactor = 0.25
+	pooled, err := cable.RunMultiChip(mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coherence links, private WMTs:              %5.2fx\n", private.Ratio("cable"))
+	fmt.Printf("coherence links, pooled super-WMT (§IV-D):  %5.2fx (quarter capacity)\n",
+		pooled.Ratio("cable"))
+}

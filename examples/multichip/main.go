@@ -1,0 +1,35 @@
+// Multichip: compress the cache-coherent links of a 4-chip NUMA system.
+//
+// This example reproduces the paper's second use case (§V-B): a
+// four-node CMP with round-robin page interleaving, where node 0 runs
+// the program and three point-to-point coherence links (QPI/NVLINK
+// class) carry remote fills and dirty write-backs. One CABLE pipeline
+// sits on each link pair.
+//
+// Run with: go run ./examples/multichip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cable"
+)
+
+func main() {
+	for _, b := range []string{"zeusmp", "soplex", "dealII", "omnetpp"} {
+		cfg := cable.DefaultMultiChipConfig(b)
+		cfg.Accesses = 20000
+		cfg.LLCBytes = 256 << 10
+		res, err := cable.RunMultiChip(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remoteFrac := float64(res.RemoteFills) / float64(res.RemoteFills+res.LocalAccesses)
+		fmt.Printf("%-10s cable %5.2fx   gzip %5.2fx   cpack %5.2fx   (%.0f%% of fills crossed a link, %d dirty WBs)\n",
+			b, res.Ratio("cable"), res.Ratio("gzip"), res.Ratio("cpack"),
+			100*remoteFrac, res.DirtyWBs)
+	}
+	fmt.Println("\ncoherence traffic includes dirty write-backs, which are harder")
+	fmt.Println("to compress — the paper notes slightly lower ratios here")
+}

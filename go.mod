@@ -1,0 +1,3 @@
+module cable
+
+go 1.22

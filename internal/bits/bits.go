@@ -1,0 +1,109 @@
+// Package bits provides bit-granular serialization used by the
+// compression engines and the CABLE payload format. Compressed link
+// payloads are sized in bits, not bytes: the paper's compression ratios
+// and link-flit quantization (§III-E) both depend on exact bit counts.
+package bits
+
+import "fmt"
+
+// Writer accumulates a bit stream most-significant-bit first within each
+// byte. The zero value is ready to use.
+type Writer struct {
+	buf   []byte
+	nbits int
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbits }
+
+// Bytes returns the underlying buffer. The final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbits%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b&1 != 0 {
+		w.buf[w.nbits/8] |= 0x80 >> uint(w.nbits%8)
+	}
+	w.nbits++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i)))
+	}
+}
+
+// WriteBytes appends p as 8·len(p) bits.
+func (w *Writer) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbits = 0
+}
+
+// Reader consumes a bit stream produced by Writer.
+type Reader struct {
+	buf   []byte
+	nbits int
+	pos   int
+}
+
+// NewReader returns a Reader over nbits bits of buf.
+func NewReader(buf []byte, nbits int) *Reader {
+	return &Reader{buf: buf, nbits: nbits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbits - r.pos }
+
+// ReadBit consumes one bit. It reports an error past end of stream.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbits {
+		return 0, fmt.Errorf("bits: read past end of %d-bit stream", r.nbits)
+	}
+	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits consumes n bits and returns them right-aligned.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bits: ReadBits width %d out of range", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadBytes consumes 8·n bits into a fresh slice.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	p := make([]byte, n)
+	for i := range p {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = byte(v)
+	}
+	return p, nil
+}

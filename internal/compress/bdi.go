@@ -1,0 +1,262 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cable/internal/bits"
+)
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al.,
+// PACT 2012), the representative non-dictionary baseline. A line is
+// encoded as one base value plus narrow deltas; values near zero use an
+// implicit zero base (the "immediate" part), selected per value by a
+// one-bit mask.
+//
+// Encodings tried, in order of preference (best compression first):
+//
+//	zeros        line is all zero
+//	rep8         line is one repeated 8-byte value
+//	b8d1,b8d2,b8d4  8-byte base, 1/2/4-byte deltas
+//	b4d1,b4d2       4-byte base, 1/2-byte deltas
+//	b2d1            2-byte base, 1-byte deltas
+//	raw          uncompressed fallback
+//
+// Every encoding carries a 4-bit tag.
+type BDI struct{}
+
+// NewBDI returns the BDI engine.
+func NewBDI() *BDI { return &BDI{} }
+
+// Name implements Engine.
+func (*BDI) Name() string { return "bdi" }
+
+const bdiTagBits = 4
+
+// bdi encoding tags.
+const (
+	bdiZeros = iota
+	bdiRep8
+	bdiB8D1
+	bdiB8D2
+	bdiB8D4
+	bdiB4D1
+	bdiB4D2
+	bdiB2D1
+	bdiRaw
+)
+
+type bdiLayout struct {
+	base  int // base size in bytes
+	delta int // delta size in bytes
+}
+
+var bdiLayouts = map[int]bdiLayout{
+	bdiB8D1: {8, 1},
+	bdiB8D2: {8, 2},
+	bdiB8D4: {8, 4},
+	bdiB4D1: {4, 1},
+	bdiB4D2: {4, 2},
+	bdiB2D1: {2, 1},
+}
+
+// bdiOrder is the preference order for base+delta encodings.
+var bdiOrder = []int{bdiB8D1, bdiB4D1, bdiB2D1, bdiB8D2, bdiB4D2, bdiB8D4}
+
+func segments(line []byte, size int) []uint64 {
+	n := len(line) / size
+	vals := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		switch size {
+		case 8:
+			vals[i] = binary.LittleEndian.Uint64(line[i*8:])
+		case 4:
+			vals[i] = uint64(binary.LittleEndian.Uint32(line[i*4:]))
+		case 2:
+			vals[i] = uint64(binary.LittleEndian.Uint16(line[i*2:]))
+		}
+	}
+	return vals
+}
+
+func fitsSigned(delta int64, bytes int) bool {
+	limit := int64(1) << uint(bytes*8-1)
+	return delta >= -limit && delta < limit
+}
+
+// signExtend interprets the low `bytes` bytes of v as a signed value.
+func signExtend(v uint64, bytes int) int64 {
+	shift := uint(64 - bytes*8)
+	return int64(v<<shift) >> shift
+}
+
+// tryLayout attempts one base+delta layout. It returns the encoded size
+// in bits and the chosen arbitrary base, or ok=false.
+func tryLayout(vals []uint64, baseSize, deltaSize int) (base uint64, mask []bool, ok bool) {
+	mask = make([]bool, len(vals)) // true → immediate (zero base)
+	haveBase := false
+	for i, v := range vals {
+		if fitsSigned(int64(v), deltaSize) || fitsSigned(signExtend(v, baseSize), deltaSize) {
+			mask[i] = true
+			continue
+		}
+		if !haveBase {
+			base, haveBase = v, true
+		}
+		d := int64(v) - int64(base)
+		if !fitsSigned(d, deltaSize) {
+			return 0, nil, false
+		}
+	}
+	return base, mask, true
+}
+
+func bdiSizeBits(tag int, nVals int) int {
+	l := bdiLayouts[tag]
+	// tag + base + per-value (1 mask bit + delta bytes)
+	return bdiTagBits + l.base*8 + nVals*(1+l.delta*8)
+}
+
+// Compress implements Engine. BDI has no dictionary; refs are ignored.
+func (*BDI) Compress(line []byte, refs [][]byte) Encoded {
+	var w bits.Writer
+	if allZero(line) {
+		w.WriteBits(bdiZeros, bdiTagBits)
+		return Encoded{Data: w.Bytes(), NBits: w.Len()}
+	}
+	if v, ok := repeated8(line); ok {
+		w.WriteBits(bdiRep8, bdiTagBits)
+		w.WriteBits(v, 64)
+		return Encoded{Data: w.Bytes(), NBits: w.Len()}
+	}
+	bestTag := bdiRaw
+	bestBits := bdiTagBits + len(line)*8
+	var bestBase uint64
+	var bestMask []bool
+	for _, tag := range bdiOrder {
+		l := bdiLayouts[tag]
+		if len(line)%l.base != 0 {
+			continue
+		}
+		vals := segments(line, l.base)
+		base, mask, ok := tryLayout(vals, l.base, l.delta)
+		if !ok {
+			continue
+		}
+		if sz := bdiSizeBits(tag, len(vals)); sz < bestBits {
+			bestTag, bestBits, bestBase, bestMask = tag, sz, base, mask
+		}
+	}
+	if bestTag == bdiRaw {
+		w.WriteBits(bdiRaw, bdiTagBits)
+		w.WriteBytes(line)
+		return Encoded{Data: w.Bytes(), NBits: w.Len()}
+	}
+	l := bdiLayouts[bestTag]
+	vals := segments(line, l.base)
+	w.WriteBits(uint64(bestTag), bdiTagBits)
+	w.WriteBits(bestBase, l.base*8)
+	for i, v := range vals {
+		if bestMask[i] {
+			w.WriteBit(1)
+			w.WriteBits(v&deltaMask(l.delta), l.delta*8)
+		} else {
+			w.WriteBit(0)
+			d := uint64(int64(v) - int64(bestBase))
+			w.WriteBits(d&deltaMask(l.delta), l.delta*8)
+		}
+	}
+	return Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
+func deltaMask(bytes int) uint64 {
+	if bytes >= 8 {
+		return ^uint64(0)
+	}
+	return (1 << uint(bytes*8)) - 1
+}
+
+// Decompress implements Engine.
+func (*BDI) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	r := enc.Reader()
+	tag64, err := r.ReadBits(bdiTagBits)
+	if err != nil {
+		return nil, fmt.Errorf("bdi: %w", err)
+	}
+	tag := int(tag64)
+	switch tag {
+	case bdiZeros:
+		return make([]byte, lineSize), nil
+	case bdiRep8:
+		v, err := r.ReadBits(64)
+		if err != nil {
+			return nil, err
+		}
+		line := make([]byte, lineSize)
+		for i := 0; i < lineSize; i += 8 {
+			binary.LittleEndian.PutUint64(line[i:], v)
+		}
+		return line, nil
+	case bdiRaw:
+		return r.ReadBytes(lineSize)
+	}
+	l, ok := bdiLayouts[tag]
+	if !ok {
+		return nil, fmt.Errorf("bdi: invalid tag %d", tag)
+	}
+	base, err := r.ReadBits(l.base * 8)
+	if err != nil {
+		return nil, err
+	}
+	n := lineSize / l.base
+	line := make([]byte, lineSize)
+	for i := 0; i < n; i++ {
+		imm, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		dRaw, err := r.ReadBits(l.delta * 8)
+		if err != nil {
+			return nil, err
+		}
+		d := signExtend(dRaw, l.delta)
+		var v uint64
+		if imm == 1 {
+			v = uint64(d)
+		} else {
+			v = uint64(int64(base) + d)
+		}
+		v &= deltaMask(l.base)
+		switch l.base {
+		case 8:
+			binary.LittleEndian.PutUint64(line[i*8:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(line[i*4:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(line[i*2:], uint16(v))
+		}
+	}
+	return line, nil
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func repeated8(line []byte) (uint64, bool) {
+	if len(line) < 8 || len(line)%8 != 0 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(line)
+	for i := 8; i < len(line); i += 8 {
+		if binary.LittleEndian.Uint64(line[i:]) != v {
+			return 0, false
+		}
+	}
+	return v, true
+}

@@ -1,0 +1,95 @@
+// Package compress implements the compression engines CABLE delegates
+// to (§II-B: "CABLE is a compression framework and not a compression
+// algorithm") and the baseline link compressors the paper evaluates
+// against: CPACK, CPACK128, BDI, LBE256 and a gzip-class streaming LZSS.
+//
+// Every engine is bit-exact: Decompress(Compress(line)) == line, and
+// encoded sizes are counted in bits because the paper's ratios and link
+// flit quantization depend on exact payload bits.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cable/internal/bits"
+)
+
+// Encoded is a compressed block: a bit stream plus its exact length.
+type Encoded struct {
+	Data  []byte
+	NBits int
+}
+
+// Reader returns a bit reader over the encoded stream.
+func (e Encoded) Reader() *bits.Reader { return bits.NewReader(e.Data, e.NBits) }
+
+// Engine compresses a single cache line, optionally seeded with
+// reference lines that form a temporary dictionary (Fig 10). Engines
+// must be deterministic and bit-exact round-trip.
+type Engine interface {
+	// Name identifies the engine in reports ("cpack", "lbe", ...).
+	Name() string
+	// Compress encodes line. refs, if non-empty, seed the engine's
+	// dictionary; both sides of the link must pass identical refs.
+	Compress(line []byte, refs [][]byte) Encoded
+	// Decompress inverts Compress given the same refs and the
+	// original line size.
+	Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error)
+}
+
+// StreamEngine is a link compressor with persistent inter-block state
+// (gzip-class). Compressor and decompressor are separate objects whose
+// dictionaries evolve in lock-step as blocks flow over the link.
+type StreamEngine interface {
+	Name() string
+	Compress(line []byte) Encoded
+}
+
+// StreamDecoder mirrors a StreamEngine on the receiving side.
+type StreamDecoder interface {
+	Decompress(enc Encoded, lineSize int) ([]byte, error)
+}
+
+// Words reinterprets a line as little-endian 32-bit words.
+func Words(line []byte) []uint32 {
+	if len(line)%4 != 0 {
+		panic(fmt.Sprintf("compress: line size %d not word aligned", len(line)))
+	}
+	ws := make([]uint32, len(line)/4)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint32(line[i*4:])
+	}
+	return ws
+}
+
+// PutWords serializes words back to bytes.
+func PutWords(ws []uint32) []byte {
+	line := make([]byte, len(ws)*4)
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(line[i*4:], w)
+	}
+	return line
+}
+
+// Ratio is uncompressed size over compressed size, the paper's metric
+// (compression ratios are represented as uncompressed ÷ compressed).
+func Ratio(rawBytes int, compressedBits int) float64 {
+	if compressedBits == 0 {
+		compressedBits = 1
+	}
+	return float64(rawBytes*8) / float64(compressedBits)
+}
+
+// indexBits returns the pointer width needed to address n dictionary
+// entries — the "pointer overhead" at the heart of Fig 3.
+func indexBits(n int) int {
+	b := 0
+	for (1 << uint(b)) < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

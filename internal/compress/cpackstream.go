@@ -1,0 +1,103 @@
+package compress
+
+// CPackStream is the Fig 3 instrument: C-Pack modified with a
+// configurable dictionary that persists across the whole link stream.
+// For every line it reports the encoded size twice — with real pointer
+// (dictionary index) widths, and with pointers costed at zero bits —
+// reproducing the paper's "Ideal" vs "Ideal With Pointer" curves: raw
+// match coverage keeps improving with dictionary size, but wider
+// indices eat the gains.
+//
+// Because Fig 3 sweeps dictionaries to megabytes, matching is indexed:
+// hash maps from the full word and its upper prefixes to the most
+// recent dictionary position. Entries are validated on lookup (FIFO
+// overwrites leave stale map entries behind), so matches are always
+// genuine; a displaced older duplicate may be missed, which only makes
+// the curve conservative.
+type CPackStream struct {
+	dict *cpackDict
+	full map[uint32]int // word        → index
+	hi3  map[uint32]int // word >> 8   → index
+	hi2  map[uint32]int // word >> 16  → index
+}
+
+// NewCPackStream builds a streaming C-Pack with dictBytes of FIFO
+// dictionary retained across lines.
+func NewCPackStream(dictBytes int) *CPackStream {
+	return &CPackStream{
+		dict: newCPackDict(dictBytes/4, nil),
+		full: make(map[uint32]int),
+		hi3:  make(map[uint32]int),
+		hi2:  make(map[uint32]int),
+	}
+}
+
+func (c *CPackStream) push(w uint32) {
+	d := c.dict
+	if d.cap == 0 {
+		return
+	}
+	var idx int
+	if len(d.words) < d.cap {
+		idx = len(d.words)
+	} else {
+		idx = d.next
+	}
+	d.push(w)
+	c.full[w] = idx
+	c.hi3[w>>8] = idx
+	c.hi2[w>>16] = idx
+}
+
+// match finds the best indexed match: 4 (full), 3 (upper 3 bytes),
+// 2 (upper half) or 0.
+func (c *CPackStream) match(w uint32) (idx, matchBytes int) {
+	d := c.dict
+	if i, ok := c.full[w]; ok && i < len(d.words) && d.words[i] == w {
+		return i, 4
+	}
+	if i, ok := c.hi3[w>>8]; ok && i < len(d.words) && d.words[i]>>8 == w>>8 {
+		return i, 3
+	}
+	if i, ok := c.hi2[w>>16]; ok && i < len(d.words) && d.words[i]>>16 == w>>16 {
+		return i, 2
+	}
+	return -1, 0
+}
+
+// CompressBits encodes one line into the persistent dictionary and
+// returns the encoded size with pointer overhead (withPtr) and with
+// free pointers (noPtr).
+func (c *CPackStream) CompressBits(line []byte) (withPtr, noPtr int) {
+	ib := c.dict.idxBits()
+	for _, word := range Words(line) {
+		switch {
+		case word == 0:
+			withPtr += 2
+			noPtr += 2
+		case word>>8 == 0:
+			withPtr += 12
+			noPtr += 12
+		default:
+			_, m := c.match(word)
+			switch m {
+			case 4:
+				withPtr += 2 + ib
+				noPtr += 2
+			case 3:
+				withPtr += 12 + ib
+				noPtr += 12
+				c.push(word)
+			case 2:
+				withPtr += 20 + ib
+				noPtr += 20
+				c.push(word)
+			default:
+				withPtr += 34
+				noPtr += 34
+				c.push(word)
+			}
+		}
+	}
+	return withPtr, noPtr
+}

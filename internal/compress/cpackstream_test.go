@@ -1,0 +1,89 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestCPackStreamZeroAndTrivial(t *testing.T) {
+	cs := NewCPackStream(1024)
+	zero := make([]byte, 64)
+	w, np := cs.CompressBits(zero)
+	if w != 32 || np != 32 {
+		t.Fatalf("zero line = %d/%d bits, want 32/32 (16 zzzz codes)", w, np)
+	}
+	small := make([]byte, 64)
+	for i := 0; i < 64; i += 4 {
+		small[i] = byte(i + 1) // zzzx pattern
+	}
+	w, np = cs.CompressBits(small)
+	if w != 16*12 || np != 16*12 {
+		t.Fatalf("small-byte line = %d/%d bits, want 192/192", w, np)
+	}
+}
+
+func TestCPackStreamLearnsAcrossLines(t *testing.T) {
+	cs := NewCPackStream(4096)
+	line := make([]byte, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i += 4 {
+		binary.LittleEndian.PutUint32(line[i:], rng.Uint32()|0x01000000)
+	}
+	first, firstNP := cs.CompressBits(line)
+	second, secondNP := cs.CompressBits(line)
+	if second >= first {
+		t.Fatalf("repeat cost %d not below first %d (dictionary inert)", second, first)
+	}
+	if secondNP >= firstNP {
+		t.Fatalf("no-pointer repeat cost %d not below first %d", secondNP, firstNP)
+	}
+	// Pointer-free coding must always be ≤ pointer-priced coding.
+	if secondNP > second {
+		t.Fatalf("noPtr %d exceeds withPtr %d", secondNP, second)
+	}
+}
+
+func TestCPackStreamPointerWidthGrows(t *testing.T) {
+	// The Fig 3 mechanism: with identical content, a bigger dictionary
+	// pays more pointer bits per full match.
+	mkLine := func(seed int64) []byte {
+		line := make([]byte, 64)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 64; i += 4 {
+			binary.LittleEndian.PutUint32(line[i:], rng.Uint32()|0x01000000)
+		}
+		return line
+	}
+	small := NewCPackStream(256)
+	big := NewCPackStream(1 << 20)
+	line := mkLine(7)
+	small.CompressBits(line)
+	big.CompressBits(line)
+	ws, _ := small.CompressBits(line)
+	wb, _ := big.CompressBits(line)
+	if wb <= ws {
+		t.Fatalf("1MB-dict repeat %d bits should exceed 256B-dict %d bits (wider indices)", wb, ws)
+	}
+}
+
+func TestCPackStreamPartialMatches(t *testing.T) {
+	cs := NewCPackStream(1024)
+	a := make([]byte, 64)
+	for i := 0; i < 64; i += 4 {
+		binary.LittleEndian.PutUint32(a[i:], 0xABCD0000|uint32(i))
+	}
+	cs.CompressBits(a)
+	// Same upper halves, different low halves → mmxx (20+ib bits).
+	b := make([]byte, 64)
+	for i := 0; i < 64; i += 4 {
+		binary.LittleEndian.PutUint32(b[i:], 0xABCD0000|uint32(i)<<8|0x77)
+	}
+	w, np := cs.CompressBits(b)
+	if np >= 16*34 {
+		t.Fatalf("partial matches not found: %d bits no-pointer", np)
+	}
+	if w <= np {
+		t.Fatalf("pointer cost missing: %d vs %d", w, np)
+	}
+}

@@ -1,0 +1,232 @@
+package compress
+
+import (
+	"fmt"
+
+	"cable/internal/bits"
+)
+
+// LBE is a word-granularity dictionary encoder modeled on the
+// line-based encoder of MORC (Nguyen & Wentzlaff, MICRO 2015), the
+// engine the paper found to pair best with CABLE. Its key property
+// (§VI-E: "LBE can copy large aligned data blocks with lower overheads")
+// is the run-copy code: one pointer amortized over up to 16 consecutive
+// dictionary words, which is exactly what makes a cache-line reference
+// cheap.
+//
+// Code table (idx is log2(capacity) wide):
+//
+//	00 + 4-bit len            zero run of len+1 words
+//	01 + idx + 4-bit len      copy len+1 consecutive words from dict[idx:]
+//	10 + 32-bit literal       literal word, appended to the dictionary
+//	110 + idx + 8-bit byte    dict word with the low byte replaced
+//	111 + idx + 16-bit half   dict word with the low half replaced
+//
+// The baseline LBE256 uses a 256-byte FIFO dictionary reset per line;
+// CABLE+LBE seeds the dictionary with up to three 64-byte references.
+type LBE struct {
+	name    string
+	entries int // dictionary capacity in words
+}
+
+// NewLBE returns an LBE engine with dictBytes of dictionary capacity.
+func NewLBE(name string, dictBytes int) *LBE {
+	if dictBytes <= 0 || dictBytes%4 != 0 {
+		panic(fmt.Sprintf("compress: lbe dictionary %dB invalid", dictBytes))
+	}
+	return &LBE{name: name, entries: dictBytes / 4}
+}
+
+// Name implements Engine.
+func (l *LBE) Name() string { return l.name }
+
+const lbeMaxRun = 16 // 4-bit run length field encodes 1..16 words
+
+type lbeDict struct {
+	words []uint32
+	cap   int
+}
+
+func newLBEDict(capWords int, refs [][]byte) *lbeDict {
+	d := &lbeDict{cap: capWords}
+	for _, r := range refs {
+		for _, w := range Words(r) {
+			d.push(w)
+		}
+	}
+	return d
+}
+
+// push appends a word; when full the dictionary stops growing (seeded
+// reference words are never displaced — they are the valuable content).
+func (d *lbeDict) push(w uint32) {
+	if len(d.words) < d.cap {
+		d.words = append(d.words, w)
+	}
+}
+
+// longestRun finds the dictionary position giving the longest run match
+// for src starting at word position p.
+func (d *lbeDict) longestRun(src []uint32, p int) (idx, length int) {
+	best, bestIdx := 0, -1
+	for i := range d.words {
+		l := 0
+		for l < lbeMaxRun && p+l < len(src) && i+l < len(d.words) && d.words[i+l] == src[p+l] {
+			l++
+		}
+		if l > best {
+			best, bestIdx = l, i
+		}
+	}
+	return bestIdx, best
+}
+
+// partialMatch finds the dictionary word sharing the most upper bytes
+// with w: matchBytes is 3 (upper 3 bytes equal) or 2 (upper half), or 0.
+func (d *lbeDict) partialMatch(w uint32) (idx, matchBytes int) {
+	best, bestIdx := 0, -1
+	for i, e := range d.words {
+		var m int
+		switch {
+		case e>>8 == w>>8:
+			m = 3
+		case e>>16 == w>>16:
+			m = 2
+		default:
+			continue
+		}
+		if m > best {
+			best, bestIdx = m, i
+			if m == 3 {
+				break
+			}
+		}
+	}
+	return bestIdx, best
+}
+
+func (d *lbeDict) idxBits() int { return indexBits(d.cap) }
+
+// Compress implements Engine.
+func (l *LBE) Compress(line []byte, refs [][]byte) Encoded {
+	d := newLBEDict(l.entries, refs)
+	ib := d.idxBits()
+	src := Words(line)
+	var w bits.Writer
+	for p := 0; p < len(src); {
+		// Zero run.
+		zl := 0
+		for zl < lbeMaxRun && p+zl < len(src) && src[p+zl] == 0 {
+			zl++
+		}
+		idx, rl := d.longestRun(src, p)
+		// Cost per option, in saved bits vs. literals (32+2 each).
+		// Prefer the option covering the most words; ties favor the
+		// cheaper zero code.
+		switch {
+		case zl > 0 && zl >= rl:
+			w.WriteBits(0b00, 2)
+			w.WriteBits(uint64(zl-1), 4)
+			p += zl
+		case rl >= 2 || (rl == 1 && zl == 0):
+			w.WriteBits(0b01, 2)
+			w.WriteBits(uint64(idx), ib)
+			w.WriteBits(uint64(rl-1), 4)
+			p += rl
+		default:
+			if mi, m := d.partialMatch(src[p]); m == 3 {
+				w.WriteBits(0b110, 3)
+				w.WriteBits(uint64(mi), ib)
+				w.WriteBits(uint64(src[p]&0xFF), 8)
+				d.push(src[p])
+			} else if m == 2 {
+				w.WriteBits(0b111, 3)
+				w.WriteBits(uint64(mi), ib)
+				w.WriteBits(uint64(src[p]&0xFFFF), 16)
+				d.push(src[p])
+			} else {
+				w.WriteBits(0b10, 2)
+				w.WriteBits(uint64(src[p]), 32)
+				d.push(src[p])
+			}
+			p++
+		}
+	}
+	return Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
+// Decompress implements Engine.
+func (l *LBE) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	d := newLBEDict(l.entries, refs)
+	ib := d.idxBits()
+	r := enc.Reader()
+	nWords := lineSize / 4
+	out := make([]uint32, 0, nWords)
+	for len(out) < nWords {
+		code, err := r.ReadBits(2)
+		if err != nil {
+			return nil, fmt.Errorf("lbe: truncated stream: %w", err)
+		}
+		switch code {
+		case 0b00:
+			n, err := r.ReadBits(4)
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i <= n; i++ {
+				out = append(out, 0)
+			}
+		case 0b01:
+			idx, err := r.ReadBits(ib)
+			if err != nil {
+				return nil, err
+			}
+			n, err := r.ReadBits(4)
+			if err != nil {
+				return nil, err
+			}
+			if int(idx)+int(n) >= len(d.words) {
+				return nil, fmt.Errorf("lbe: run [%d,%d] out of dictionary range %d", idx, idx+n, len(d.words))
+			}
+			for i := uint64(0); i <= n; i++ {
+				out = append(out, d.words[idx+i])
+			}
+		case 0b10:
+			v, err := r.ReadBits(32)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, uint32(v))
+			d.push(uint32(v))
+		case 0b11:
+			half, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := r.ReadBits(ib)
+			if err != nil {
+				return nil, err
+			}
+			lowBits := 8
+			mask := uint32(0xFFFFFF00)
+			if half == 1 {
+				lowBits = 16
+				mask = 0xFFFF0000
+			}
+			low, err := r.ReadBits(lowBits)
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(d.words) {
+				return nil, fmt.Errorf("lbe: index %d out of dictionary range %d", idx, len(d.words))
+			}
+			word := d.words[idx]&mask | uint32(low)
+			out = append(out, word)
+			d.push(word)
+		}
+	}
+	if len(out) != nWords {
+		return nil, fmt.Errorf("lbe: decoded %d words, want %d", len(out), nWords)
+	}
+	return PutWords(out), nil
+}

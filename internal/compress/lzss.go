@@ -1,0 +1,259 @@
+package compress
+
+import (
+	"fmt"
+
+	"cable/internal/bits"
+)
+
+// LZSS is the gzip-class streaming baseline (the paper models gzip as
+// IBM's ASIC LZ77 with a 32 KB dictionary, the max configurable size).
+// The sliding window persists across cache lines, so — exactly like a
+// hardware gzip engine on a link — it benefits from inter-line locality
+// in a single stream and suffers dictionary pollution when unrelated
+// streams interleave (§VI-C).
+//
+// Coding: 1-bit flag, then either an 8-bit literal or a
+// log2(window)-bit backwards offset plus 8-bit length (3..258 bytes,
+// deflate's maximum).
+type LZSS struct {
+	name    string
+	window  int
+	history []byte
+	// head is a chain hash over 3-byte prefixes to keep the match
+	// search linear in practice.
+	head map[uint32][]int
+	base int // bytes trimmed off the front of history
+}
+
+const (
+	lzssMinMatch = 3
+	// lzssMaxMatch mirrors deflate's 258-byte maximum (8-bit length
+	// field), which matters for long zero/value runs.
+	lzssMaxMatch = lzssMinMatch + 255
+	lzssLenBits  = 8
+)
+
+// NewLZSS returns a streaming compressor with the given window size.
+func NewLZSS(name string, window int) *LZSS {
+	if window < lzssMaxMatch {
+		panic(fmt.Sprintf("compress: lzss window %d too small", window))
+	}
+	return &LZSS{name: name, window: window, head: make(map[uint32][]int)}
+}
+
+// Name implements StreamEngine.
+func (z *LZSS) Name() string { return z.name }
+
+// Window returns the configured window size in bytes.
+func (z *LZSS) Window() int { return z.window }
+
+func lzssKey(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16
+}
+
+func (z *LZSS) offBits() int { return indexBits(z.window) }
+
+// appendHistory adds b to the window, indexing new 3-byte prefixes and
+// trimming the window lazily.
+func (z *LZSS) appendHistory(b []byte) {
+	start := len(z.history)
+	z.history = append(z.history, b...)
+	for i := start; i+lzssMinMatch <= len(z.history); i++ {
+		if i < start-lzssMinMatch+1 {
+			continue
+		}
+		k := lzssKey(z.history[i:])
+		z.head[k] = append(z.head[k], z.base+i)
+	}
+	// Also index positions straddling the previous append.
+	for i := start - lzssMinMatch + 1; i >= 0 && i < start; i++ {
+		k := lzssKey(z.history[i:])
+		z.head[k] = append(z.head[k], z.base+i)
+	}
+	z.trim()
+}
+
+func (z *LZSS) trim() {
+	if len(z.history) <= 2*z.window {
+		return
+	}
+	cut := len(z.history) - z.window
+	z.history = append([]byte(nil), z.history[cut:]...)
+	z.base += cut
+	// Rebuild the chains; amortized O(window).
+	z.head = make(map[uint32][]int, len(z.head))
+	for i := 0; i+lzssMinMatch <= len(z.history); i++ {
+		k := lzssKey(z.history[i:])
+		z.head[k] = append(z.head[k], z.base+i)
+	}
+}
+
+// findMatch searches the window for the longest match of src, where cur
+// is the absolute stream position of src[0].
+func (z *LZSS) findMatch(src []byte, cur int) (dist, length int) {
+	if len(src) < lzssMinMatch {
+		return 0, 0
+	}
+	chain := z.head[lzssKey(src)]
+	best := 0
+	bestDist := 0
+	// Walk newest-first; cap the chain walk to bound worst case.
+	for c, i := 0, len(chain)-1; i >= 0 && c < 64; i, c = i-1, c+1 {
+		pos := chain[i]
+		d := cur - pos
+		if d <= 0 || d > z.window {
+			continue
+		}
+		h := pos - z.base
+		if h < 0 {
+			continue
+		}
+		l := 0
+		max := lzssMaxMatch
+		if len(src) < max {
+			max = len(src)
+		}
+		for l < max && h+l < len(z.history) && z.history[h+l] == src[l] {
+			l++
+		}
+		if l > best {
+			best, bestDist = l, d
+			if best == lzssMaxMatch {
+				break
+			}
+		}
+	}
+	if best < lzssMinMatch {
+		return 0, 0
+	}
+	return bestDist, best
+}
+
+// Compress implements StreamEngine: it encodes line against the window
+// accumulated from all previous lines on this link, then appends line to
+// the window. Matches never span into the line being encoded, so the
+// decoder (whose window ends at the previous line) can always resolve
+// them.
+func (z *LZSS) Compress(line []byte) Encoded {
+	ob := z.offBits()
+	var w bits.Writer
+	for p := 0; p < len(line); {
+		dist, l := z.findMatch(line[p:], z.base+len(z.history)+p)
+		// Also consider intra-line matches, including overlapping
+		// run matches (distance < length), which make zero/value
+		// runs cheap: the decoder resolves them byte-by-byte.
+		if id, il := intraLineMatch(line, p); il > l {
+			dist, l = id, il
+		}
+		if l >= lzssMinMatch {
+			w.WriteBit(1)
+			w.WriteBits(uint64(dist-1), ob)
+			w.WriteBits(uint64(l-lzssMinMatch), lzssLenBits)
+			p += l
+		} else {
+			w.WriteBit(0)
+			w.WriteBits(uint64(line[p]), 8)
+			p++
+		}
+	}
+	z.appendHistory(line)
+	return Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
+// intraLineMatch finds the longest match for line[p:] whose source is an
+// earlier position in the same line. A match of length l at distance d
+// is valid iff line[p+i] == line[p+i-d] for all i < l — exactly the
+// sequence a byte-at-a-time decoder reproduces, so d < l (overlap) is
+// legal.
+func intraLineMatch(line []byte, p int) (dist, length int) {
+	best, bestDist := 0, 0
+	max := lzssMaxMatch
+	if len(line)-p < max {
+		max = len(line) - p
+	}
+	for d := 1; d <= p; d++ {
+		l := 0
+		for l < max && line[p+l] == line[p+l-d] {
+			l++
+		}
+		if l > best {
+			best, bestDist = l, d
+			if best == max {
+				break
+			}
+		}
+	}
+	if best < lzssMinMatch {
+		return 0, 0
+	}
+	return bestDist, best
+}
+
+// LZSSDecoder mirrors LZSS on the receive side of the link.
+type LZSSDecoder struct {
+	window  int
+	history []byte
+}
+
+// NewLZSSDecoder returns a decoder for a stream produced by an LZSS
+// compressor with the same window.
+func NewLZSSDecoder(window int) *LZSSDecoder {
+	return &LZSSDecoder{window: window}
+}
+
+// Decompress implements StreamDecoder.
+func (z *LZSSDecoder) Decompress(enc Encoded, lineSize int) ([]byte, error) {
+	ob := indexBits(z.window)
+	r := enc.Reader()
+	out := make([]byte, 0, lineSize)
+	for len(out) < lineSize {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("lzss: truncated stream: %w", err)
+		}
+		if flag == 0 {
+			v, err := r.ReadBits(8)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(v))
+			continue
+		}
+		d64, err := r.ReadBits(ob)
+		if err != nil {
+			return nil, err
+		}
+		l64, err := r.ReadBits(lzssLenBits)
+		if err != nil {
+			return nil, err
+		}
+		dist := int(d64) + 1
+		length := int(l64) + lzssMinMatch
+		// Matches resolve against window + already-decoded bytes of
+		// this line (the compressor only matches the window, but the
+		// combined view is identical byte-for-byte).
+		for i := 0; i < length; i++ {
+			pos := len(z.history) + len(out) - dist
+			if pos < 0 || pos >= len(z.history)+len(out) {
+				return nil, fmt.Errorf("lzss: match distance %d out of range", dist)
+			}
+			var b byte
+			if pos < len(z.history) {
+				b = z.history[pos]
+			} else {
+				b = out[pos-len(z.history)]
+			}
+			out = append(out, b)
+		}
+	}
+	if len(out) != lineSize {
+		return nil, fmt.Errorf("lzss: decoded %d bytes, want %d", len(out), lineSize)
+	}
+	z.history = append(z.history, out...)
+	if len(z.history) > 2*z.window {
+		cut := len(z.history) - z.window
+		z.history = append([]byte(nil), z.history[cut:]...)
+	}
+	return out, nil
+}

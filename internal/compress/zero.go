@@ -1,0 +1,53 @@
+package compress
+
+import (
+	"fmt"
+
+	"cable/internal/bits"
+)
+
+// Zero is the simplest link encoder class the paper cites (dynamic zero
+// compression): each 32-bit word carries a 1-bit flag — 0 for a zero
+// word, 1 followed by the raw word. It is the floor any scheme should
+// beat and the reason zero-dominant benchmarks compress well everywhere.
+type Zero struct{}
+
+// NewZero returns the zero-word encoder.
+func NewZero() *Zero { return &Zero{} }
+
+// Name implements Engine.
+func (*Zero) Name() string { return "zero" }
+
+// Compress implements Engine. refs are ignored.
+func (*Zero) Compress(line []byte, refs [][]byte) Encoded {
+	var w bits.Writer
+	for _, word := range Words(line) {
+		if word == 0 {
+			w.WriteBit(0)
+		} else {
+			w.WriteBit(1)
+			w.WriteBits(uint64(word), 32)
+		}
+	}
+	return Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
+// Decompress implements Engine.
+func (*Zero) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	r := enc.Reader()
+	out := make([]uint32, lineSize/4)
+	for i := range out {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("zero: truncated stream: %w", err)
+		}
+		if flag == 1 {
+			v, err := r.ReadBits(32)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = uint32(v)
+		}
+	}
+	return PutWords(out), nil
+}

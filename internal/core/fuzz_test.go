@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"cable/internal/compress"
+)
+
+// FuzzUnmarshalPayload feeds arbitrary wire bits to the payload parser:
+// it must either parse or error, never panic, and parsed payloads must
+// re-marshal to an equivalent wire image.
+func FuzzUnmarshalPayload(f *testing.F) {
+	f.Add([]byte{0x00}, 8)
+	f.Add([]byte{0xC0, 0x01, 0x02, 0x03}, 32)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > len(data)*8 {
+			return
+		}
+		enc := compress.Encoded{Data: data, NBits: nbits}
+		p, err := UnmarshalPayload(enc, 9, 3, 64)
+		if err != nil {
+			return
+		}
+		re := p.Marshal(9, 3)
+		if re.NBits != p.Bits(12) {
+			t.Fatalf("re-marshal %d bits, Bits() %d", re.NBits, p.Bits(12))
+		}
+	})
+}

@@ -1,0 +1,159 @@
+// Package core implements the CABLE framework — the paper's primary
+// contribution: a point-to-point link encoder that re-purposes the data
+// already stored in coherent caches as a massive, scalable compression
+// dictionary.
+//
+// A link is a HomeEnd (the larger cache, e.g. the off-chip L4, which
+// services and compresses requests) paired with a RemoteEnd (the smaller
+// cache, e.g. the on-chip LLC, which receives and decompresses). The
+// home end owns a signature hash table and a Way-Map Table; the remote
+// end owns its own hash table for write-back compression. Both sides
+// synchronize these structures from the coherence events they already
+// observe (§III-F), so no extra coherence traffic is needed.
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/sig"
+)
+
+// HashTable maps line signatures to the LineIDs of cache lines carrying
+// them (Fig 7). It is a plain SRAM-style structure, not a CAM: each
+// entry (bucket) holds BucketDepth LineIDs with FIFO replacement.
+// Lookups are inexact — hash collisions yield false positives that the
+// ranking step filters out by reading the actual data.
+type HashTable struct {
+	buckets [][]entry
+	depth   int
+
+	// Stats
+	Inserts    uint64
+	Removes    uint64
+	Lookups    uint64
+	Collisions uint64 // insert displaced a live entry
+}
+
+type entry struct {
+	id    cache.LineID
+	valid bool
+}
+
+// NewHashTable builds a table with the given number of buckets (rounded
+// up to a power of two) and bucket depth. A "full-sized" table has as
+// many entries as the home cache has lines (§IV-D).
+func NewHashTable(buckets, depth int) *HashTable {
+	if buckets < 1 {
+		buckets = 1
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	b := make([][]entry, n)
+	for i := range b {
+		b[i] = make([]entry, depth)
+	}
+	return &HashTable{buckets: b, depth: depth}
+}
+
+// NumBuckets returns the bucket count.
+func (h *HashTable) NumBuckets() int { return len(h.buckets) }
+
+// Depth returns the bucket depth.
+func (h *HashTable) Depth() int { return h.depth }
+
+func (h *HashTable) bucket(s sig.Signature) []entry {
+	return h.buckets[uint32(s)&uint32(len(h.buckets)-1)]
+}
+
+// Insert records that the line at id carries signature s. Within a
+// bucket the oldest entry is displaced (FIFO): the most recent lines
+// keep their signatures, which is what lets a half-sized table "retain
+// signatures of the most recent half" (§IV-D).
+func (h *HashTable) Insert(s sig.Signature, id cache.LineID) {
+	h.Inserts++
+	b := h.bucket(s)
+	for i := range b {
+		if b[i].valid && b[i].id == id {
+			return // already present
+		}
+	}
+	for i := range b {
+		if !b[i].valid {
+			// Shift to keep FIFO order: newest at the end.
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = entry{id: id, valid: true}
+			return
+		}
+	}
+	h.Collisions++
+	copy(b, b[1:])
+	b[len(b)-1] = entry{id: id, valid: true}
+}
+
+// Lookup appends the LineIDs stored under signature s to dst and
+// returns it.
+func (h *HashTable) Lookup(s sig.Signature, dst []cache.LineID) []cache.LineID {
+	h.Lookups++
+	for _, e := range h.bucket(s) {
+		if e.valid {
+			dst = append(dst, e.id)
+		}
+	}
+	return dst
+}
+
+// Remove deletes the (s, id) association if present — the precise
+// invalidation CABLE performs when caches desynchronize (§III-B).
+func (h *HashTable) Remove(s sig.Signature, id cache.LineID) bool {
+	b := h.bucket(s)
+	for i := range b {
+		if b[i].valid && b[i].id == id {
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = entry{}
+			h.Removes++
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveLine deletes every signature of data pointing at id.
+func (h *HashTable) RemoveLine(ex *sig.Extractor, data []byte, id cache.LineID) {
+	for _, s := range ex.InsertSignatures(data) {
+		h.Remove(s, id)
+	}
+}
+
+// InsertLine records the insert-signatures of data for id.
+func (h *HashTable) InsertLine(ex *sig.Extractor, data []byte, id cache.LineID) {
+	for _, s := range ex.InsertSignatures(data) {
+		h.Insert(s, id)
+	}
+}
+
+// Occupancy counts live entries (for tests and reports).
+func (h *HashTable) Occupancy() int {
+	n := 0
+	for _, b := range h.buckets {
+		for _, e := range b {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SizeBits returns the storage cost of the table given the LineID
+// width, for the Table III area model.
+func (h *HashTable) SizeBits(lineIDBits int) int {
+	return len(h.buckets) * h.depth * (lineIDBits + 1)
+}
+
+// String implements fmt.Stringer.
+func (h *HashTable) String() string {
+	return fmt.Sprintf("hashtable{buckets=%d depth=%d live=%d}", len(h.buckets), h.depth, h.Occupancy())
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/compress"
+	"cable/internal/sig"
+)
+
+// HomeEnd is the compressing side of a CABLE link: the larger cache
+// that services requests (the off-chip L4 in the memory-link use case,
+// or the home node's LLC across a coherence link). It owns the
+// signature hash table and the Way-Map Table and keeps both
+// synchronized from the request/eviction stream it already sees.
+type HomeEnd struct {
+	cfg    Config
+	home   *cache.Cache
+	engine compress.Engine
+	ex     *sig.Extractor
+	ht     *HashTable
+	wmt    WayMap
+
+	remoteSets    int
+	remoteIdxBits int
+	remoteWayBits int
+	lineSize      int
+
+	// AckSeq is the highest remote EvictSeq this end has processed;
+	// it is echoed in responses (§IV-A).
+	AckSeq uint64
+
+	// Stats accumulates encoder decisions.
+	Stats HomeStats
+}
+
+// HomeStats counts encoder events.
+type HomeStats struct {
+	Fills          uint64
+	RawWins        uint64 // uncompressed payload was smallest
+	StandaloneWins uint64 // compressed without references
+	ThresholdSkips uint64 // standalone ratio ≥ threshold, search skipped
+	DiffWins       uint64 // reference-seeded DIFF won
+	RefsUsed       [4]uint64
+	SigsSearched   uint64
+	CandidatesRead uint64
+	PayloadBits    uint64
+	SourceBits     uint64
+	WBDecodes      uint64
+}
+
+// NewHomeEnd builds the home side of a link between home and a remote
+// cache with remote's geometry, using a private per-link WMT. The
+// remote cache object is used only for its geometry — the home end
+// never reads remote data.
+func NewHomeEnd(cfg Config, home, remote *cache.Cache) (*HomeEnd, error) {
+	return NewHomeEndWithWayMap(cfg, home, remote, nil)
+}
+
+// NewHomeEndWithWayMap builds a home end over an explicit way-map —
+// typically a SuperWMT view shared across links (§IV-D). A nil wm gets
+// a private WMT.
+func NewHomeEndWithWayMap(cfg Config, home, remote *cache.Cache, wm WayMap) (*HomeEnd, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := compress.NewEngine(cfg.EngineName)
+	if err != nil {
+		return nil, err
+	}
+	buckets := int(float64(home.NumLines()) * cfg.HashSizeFactor / float64(cfg.BucketDepth))
+	if buckets < 1 {
+		buckets = 1
+	}
+	if wm == nil {
+		wm = NewWMT(home, remote)
+	}
+	h := &HomeEnd{
+		cfg:           cfg,
+		home:          home,
+		engine:        eng,
+		ex:            sig.NewExtractorN(home.Config().LineSize, cfg.SigSeed, cfg.InsertSigs),
+		ht:            NewHashTable(buckets, cfg.BucketDepth),
+		wmt:           wm,
+		remoteSets:    remote.NumSets(),
+		remoteIdxBits: remote.IndexBits(),
+		remoteWayBits: remote.WayBits(),
+		lineSize:      home.Config().LineSize,
+	}
+	return h, nil
+}
+
+// RemoteLIDBits is the transmitted pointer width (Table III), or the
+// configured override for the tag-pointer ablation.
+func (h *HomeEnd) RemoteLIDBits() int {
+	if h.cfg.PointerBitsOverride > 0 {
+		return h.cfg.PointerBitsOverride
+	}
+	return h.remoteIdxBits + h.remoteWayBits
+}
+
+// HashTable exposes the hash table (for tests and the area model).
+func (h *HomeEnd) HashTable() *HashTable { return h.ht }
+
+// WMT exposes the way-map (for tests and the area model).
+func (h *HomeEnd) WMT() WayMap { return h.wmt }
+
+// Engine returns the delegated compression engine.
+func (h *HomeEnd) Engine() compress.Engine { return h.engine }
+
+// FillLatency describes the cycle cost of one encoded fill, per the
+// §IV-D pipeline model. The paper's results conservatively use the
+// worst case; the per-fill numbers feed the adaptive study.
+type FillLatency struct {
+	SearchCycles     int
+	CompressCycles   int
+	DecompressCycles int
+}
+
+// Total returns end-to-end added latency in cycles.
+func (l FillLatency) Total() int { return l.SearchCycles + l.CompressCycles + l.DecompressCycles }
+
+// searchLatency models the 2-signature-per-cycle, 8-stage search
+// pipeline: ⌈n/2⌉ issue cycles drained through an 8-cycle pipeline,
+// bounded by the paper's best (8) and worst (16) cases.
+func searchLatency(nsigs int) int {
+	if nsigs == 0 {
+		return 0
+	}
+	lat := (nsigs+1)/2 + 8
+	if lat < SearchLatencyBest {
+		lat = SearchLatencyBest
+	}
+	if lat > SearchLatencyWorst {
+		lat = SearchLatencyWorst
+	}
+	return lat
+}
+
+// EncodeFill compresses the response for lineAddr, which must be
+// present in the home cache (on an L4 miss the simulator installs the
+// DRAM fill first — "compression continues as if it was a hit", §V-A).
+// state is the coherence state granted to the remote copy and replWay
+// the way-replacement info carried in the request (§II-C). EncodeFill
+// also performs the home-side synchronization for this transfer.
+func (h *HomeEnd) EncodeFill(lineAddr uint64, state cache.State, replWay int) (Payload, FillLatency, error) {
+	line, _, ok := h.home.Probe(lineAddr)
+	if !ok {
+		return Payload{}, FillLatency{}, fmt.Errorf("core: EncodeFill %#x: line not present in home cache %q", lineAddr, h.home.Config().Name)
+	}
+	p, lat := h.encodeFillData(lineAddr, line.Data, state, replWay)
+	return p, lat, nil
+}
+
+// EncodeFillData is the non-inclusive variant (§IV-C): the response
+// data is supplied directly and need not be resident in the home cache
+// (a Haswell-EP-style Home Agent forwards lines it does not cache).
+// References still come from home-cached, WMT-tracked lines; the filled
+// line only becomes a future reference if the home happens to cache it.
+func (h *HomeEnd) EncodeFillData(lineAddr uint64, data []byte, state cache.State, replWay int) (Payload, FillLatency, error) {
+	if len(data) != h.lineSize {
+		return Payload{}, FillLatency{}, fmt.Errorf("core: EncodeFillData %#x: %dB line, want %dB", lineAddr, len(data), h.lineSize)
+	}
+	p, lat := h.encodeFillData(lineAddr, data, state, replWay)
+	return p, lat, nil
+}
+
+func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State, replWay int) (Payload, FillLatency) {
+	h.Stats.Fills++
+	h.Stats.SourceBits += uint64(len(data) * 8)
+
+	payload, lat := h.encode(data)
+
+	// Synchronization (§III-F). The displaced occupant of the target
+	// slot can no longer serve as a reference.
+	rSlot := cache.LineID{Index: int(lineAddr & uint64(h.remoteSets-1)), Way: replWay}
+	h.noteDisplacement(rSlot)
+	if state == cache.Shared {
+		// The line becomes a reference only if the home caches it
+		// (always true for inclusive hierarchies).
+		if line, homeID, ok := h.home.Probe(lineAddr); ok {
+			h.wmt.Set(rSlot, homeID)
+			h.ht.InsertLine(h.ex, line.Data, homeID)
+		}
+	}
+	payload.AckSeq = h.AckSeq
+	h.Stats.PayloadBits += uint64(payload.Bits(h.RemoteLIDBits()))
+	h.recordOutcome(payload)
+	return payload, lat
+}
+
+// encode runs the §III-C/§III-E pipeline on one line: concurrent
+// standalone compression, threshold check, signature search, CBV
+// ranking, DIFF compression, and the smallest-payload decision.
+func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
+	standalone := h.engine.Compress(data, nil)
+	rawBits := flagBits + len(data)*8
+
+	best := Payload{Compressed: true, Diff: standalone}
+	bestBits := best.Bits(h.RemoteLIDBits())
+	if rawBits < bestBits {
+		best = Payload{Raw: append([]byte(nil), data...)}
+		bestBits = rawBits
+	}
+	lat := FillLatency{CompressCycles: CompressLatency, DecompressCycles: DecompressLatency}
+
+	if compress.Ratio(len(data), standalone.NBits) >= h.cfg.StandaloneThreshold {
+		h.Stats.ThresholdSkips++
+		return best, lat
+	}
+
+	sigs := h.ex.SearchSignatures(data, h.cfg.MaxSearchSigs)
+	h.Stats.SigsSearched += uint64(len(sigs))
+	lat.SearchCycles = searchLatency(len(sigs))
+	cands := h.gatherCandidates(data, sigs)
+	refs := selectRefs(cands, h.cfg.MaxRefs)
+	if len(refs) > 0 {
+		refData := make([][]byte, len(refs))
+		remoteIDs := make([]cache.LineID, len(refs))
+		for i, c := range refs {
+			refData[i] = c.data
+			remoteIDs[i] = c.remoteID
+		}
+		diff := h.engine.Compress(data, refData)
+		p := Payload{Compressed: true, Refs: remoteIDs, Diff: diff}
+		if b := p.Bits(h.RemoteLIDBits()); b < bestBits {
+			best, bestBits = p, b
+		}
+	}
+	return best, lat
+}
+
+// gatherCandidates probes the hash table with every search signature,
+// pre-ranks by duplication, reads the top candidates from the data
+// array, checks remote residency through the WMT, and builds CBVs.
+func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidate {
+	type slot struct {
+		order int
+		dups  int
+	}
+	counts := make(map[cache.LineID]*slot)
+	var order []cache.LineID
+	scratch := make([]cache.LineID, 0, h.cfg.BucketDepth)
+	for _, s := range sigs {
+		scratch = h.ht.Lookup(s, scratch[:0])
+		for _, id := range scratch {
+			if c, ok := counts[id]; ok {
+				c.dups++
+			} else {
+				counts[id] = &slot{order: len(order), dups: 1}
+				order = append(order, id)
+			}
+		}
+	}
+	cands := make([]candidate, 0, len(order))
+	for _, id := range order {
+		cands = append(cands, candidate{homeID: id, dups: counts[id].dups})
+	}
+	cands = preRank(cands, h.cfg.AccessCount)
+
+	out := cands[:0]
+	for _, c := range cands {
+		remoteID, resident := h.wmt.Lookup(c.homeID)
+		if !resident {
+			continue
+		}
+		ref := h.home.ReadByID(c.homeID)
+		h.Stats.CandidatesRead++
+		if ref == nil {
+			continue
+		}
+		c.remoteID = remoteID
+		c.data = ref.Data
+		c.cbv = CoverageVector(data, ref.Data)
+		if c.cbv == 0 {
+			continue // hash collision: no similarity at all (Fig 7)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// noteDisplacement handles the implicit eviction conveyed by the
+// way-replacement info: whatever the WMT tracked in the target remote
+// slot is about to be displaced, so its signatures must be removed.
+func (h *HomeEnd) noteDisplacement(rSlot cache.LineID) {
+	displacedHome, ok := h.wmt.Clear(rSlot)
+	if !ok {
+		return
+	}
+	if line := h.home.ReadByID(displacedHome); line != nil {
+		h.ht.RemoveLine(h.ex, line.Data, displacedHome)
+	}
+}
+
+func (h *HomeEnd) recordOutcome(p Payload) {
+	switch {
+	case !p.Compressed:
+		h.Stats.RawWins++
+	case len(p.Refs) == 0:
+		h.Stats.StandaloneWins++
+	default:
+		h.Stats.DiffWins++
+	}
+	if p.Compressed {
+		h.Stats.RefsUsed[len(p.Refs)]++
+	}
+}
+
+// OnRemoteEviction processes an explicit (non-silent) eviction notice:
+// the remote slot no longer holds the line, so it cannot serve as a
+// reference. seq is the eviction's EvictSeq; processing it advances the
+// acknowledged sequence echoed in future responses.
+func (h *HomeEnd) OnRemoteEviction(rSlot cache.LineID, seq uint64) {
+	h.noteDisplacement(rSlot)
+	if seq > h.AckSeq {
+		h.AckSeq = seq
+	}
+}
+
+// OnHomeEviction must be called before the home cache evicts lineAddr
+// (with inclusive caches this also back-invalidates the remote copy).
+// It scrubs the WMT entry and hash-table signatures.
+func (h *HomeEnd) OnHomeEviction(lineAddr uint64) {
+	line, homeID, ok := h.home.Probe(lineAddr)
+	if !ok {
+		return
+	}
+	h.wmt.ClearHome(homeID)
+	h.ht.RemoveLine(h.ex, line.Data, homeID)
+}
+
+// OnUpgrade processes a shared→modified upgrade request: the remote
+// copy is about to be written, so the line must stop serving as a
+// reference on both sides (§III-F).
+func (h *HomeEnd) OnUpgrade(lineAddr uint64) {
+	line, homeID, ok := h.home.Probe(lineAddr)
+	if !ok {
+		return
+	}
+	h.wmt.ClearHome(homeID)
+	h.ht.RemoveLine(h.ex, line.Data, homeID)
+}
+
+// DecodeWriteback reconstructs a write-back payload produced by the
+// remote end. Reference RemoteLIDs are translated through the WMT back
+// to home positions (§III-G).
+func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
+	h.Stats.WBDecodes++
+	if !p.Compressed {
+		if len(p.Raw) != h.lineSize {
+			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB", len(p.Raw), h.lineSize)
+		}
+		return append([]byte(nil), p.Raw...), nil
+	}
+	refs := make([][]byte, 0, len(p.Refs))
+	for _, rid := range p.Refs {
+		homeID, ok := h.wmt.Reverse(rid)
+		if !ok {
+			return nil, fmt.Errorf("core: writeback references untracked remote slot %v", rid)
+		}
+		line := h.home.ReadByID(homeID)
+		if line == nil {
+			return nil, fmt.Errorf("core: WMT maps %v to empty home slot %v", rid, homeID)
+		}
+		refs = append(refs, line.Data)
+	}
+	return h.engine.Decompress(p.Diff, refs, h.lineSize)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/bits"
+	"cable/internal/cache"
+	"cable/internal/compress"
+)
+
+// Payload is the unit CABLE transmits over the link (§III-E). Overheads
+// are minimal: a 1-bit compressed flag, and for compressed payloads a
+// 2-bit reference count followed by the RemoteLIDs and the
+// variable-length DIFF. The DIFF length is implicit because the
+// decompressed size is fixed (one cache line).
+type Payload struct {
+	Compressed bool
+	Refs       []cache.LineID // RemoteLIDs, at most MaxRefs
+	Diff       compress.Encoded
+	Raw        []byte // uncompressed fallback, when !Compressed
+
+	// AckSeq echoes the highest remote EvictSeq the home end had
+	// processed when it produced this payload (§IV-A). It rides in
+	// header fields the transport already carries, so it does not
+	// count toward Bits.
+	AckSeq uint64
+}
+
+// payload header widths.
+const (
+	flagBits     = 1
+	refCountBits = 2
+)
+
+// Bits returns the exact transmitted size in bits given the RemoteLID
+// width of the link.
+func (p Payload) Bits(remoteLIDBits int) int {
+	if !p.Compressed {
+		return flagBits + len(p.Raw)*8
+	}
+	return flagBits + refCountBits + len(p.Refs)*remoteLIDBits + p.Diff.NBits
+}
+
+// Marshal serializes the payload to the wire. idxBits and wayBits
+// describe the remote cache geometry (RemoteLID = index + way).
+func (p Payload) Marshal(idxBits, wayBits int) compress.Encoded {
+	var w bits.Writer
+	if !p.Compressed {
+		w.WriteBit(0)
+		w.WriteBytes(p.Raw)
+		return compress.Encoded{Data: w.Bytes(), NBits: w.Len()}
+	}
+	w.WriteBit(1)
+	w.WriteBits(uint64(len(p.Refs)), refCountBits)
+	for _, r := range p.Refs {
+		w.WriteBits(uint64(r.Index), idxBits)
+		w.WriteBits(uint64(r.Way), wayBits)
+	}
+	// The DIFF is the tail; its length is implied by the fixed
+	// decompressed size, so no length field is sent.
+	r := p.Diff.Reader()
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		w.WriteBit(b)
+	}
+	return compress.Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
+// UnmarshalPayload parses a wire payload. lineSize bounds the raw form.
+func UnmarshalPayload(enc compress.Encoded, idxBits, wayBits, lineSize int) (Payload, error) {
+	r := enc.Reader()
+	flag, err := r.ReadBit()
+	if err != nil {
+		return Payload{}, fmt.Errorf("core: empty payload: %w", err)
+	}
+	if flag == 0 {
+		raw, err := r.ReadBytes(lineSize)
+		if err != nil {
+			return Payload{}, fmt.Errorf("core: truncated raw payload: %w", err)
+		}
+		return Payload{Raw: raw}, nil
+	}
+	n, err := r.ReadBits(refCountBits)
+	if err != nil {
+		return Payload{}, err
+	}
+	p := Payload{Compressed: true}
+	for i := 0; i < int(n); i++ {
+		idx, err := r.ReadBits(idxBits)
+		if err != nil {
+			return Payload{}, err
+		}
+		way, err := r.ReadBits(wayBits)
+		if err != nil {
+			return Payload{}, err
+		}
+		p.Refs = append(p.Refs, cache.LineID{Index: int(idx), Way: int(way)})
+	}
+	nbits := r.Remaining()
+	var dw bits.Writer
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		dw.WriteBit(b)
+	}
+	p.Diff = compress.Encoded{Data: dw.Bytes(), NBits: nbits}
+	return p, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"cable/internal/cache"
+	"cable/internal/sig"
+)
+
+// candidate is one reference candidate surviving the hash-table probe
+// and WMT residency check.
+type candidate struct {
+	homeID   cache.LineID
+	remoteID cache.LineID
+	data     []byte
+	cbv      uint32 // coverage bit vector: bit i = word i matches exactly
+	dups     int    // how many signatures mapped to this line (pre-rank key)
+}
+
+// CoverageVector computes the CBV (§III-C): bit i set iff 32-bit word i
+// of ref equals word i of data. For 64-byte lines this is the paper's
+// 16-bit vector.
+func CoverageVector(data, ref []byte) uint32 {
+	var cbv uint32
+	n := len(data) / sig.WordSize
+	for i := 0; i < n; i++ {
+		if sig.Word(data, i*sig.WordSize) == sig.Word(ref, i*sig.WordSize) {
+			cbv |= 1 << uint(i)
+		}
+	}
+	return cbv
+}
+
+// preRank orders candidates by duplication count (§III-C: LineIDs that
+// several signatures map to are more likely similar) and truncates to
+// accessCount — the number of data-array reads the search step spends.
+func preRank(cands []candidate, accessCount int) []candidate {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dups > cands[j].dups })
+	if len(cands) > accessCount {
+		cands = cands[:accessCount]
+	}
+	return cands
+}
+
+// selectRefs picks the subset of at most maxRefs candidates maximizing
+// combined CBV coverage, mirroring the paper's swap-capable greedy
+// (its worked example drops an already-chosen line for a better pair).
+// With at most six candidates exact enumeration is cheap and exactly
+// "maximize coverage". Ties prefer fewer references (each costs a
+// RemoteLID on the wire), then higher duplication counts. Candidates
+// contributing no additional coverage are dropped.
+func selectRefs(cands []candidate, maxRefs int) []candidate {
+	if maxRefs <= 0 || len(cands) == 0 {
+		return nil
+	}
+	bestCover, bestSize, bestDups := -1, 0, -1
+	var best []int
+	n := len(cands)
+	var walk func(start int, chosen []int)
+	walk = func(start int, chosen []int) {
+		if len(chosen) > 0 {
+			var cbv uint32
+			dups := 0
+			for _, i := range chosen {
+				cbv |= cands[i].cbv
+				dups += cands[i].dups
+			}
+			cover := bits.OnesCount32(cbv)
+			better := cover > bestCover ||
+				(cover == bestCover && len(chosen) < bestSize) ||
+				(cover == bestCover && len(chosen) == bestSize && dups > bestDups)
+			if better {
+				bestCover, bestSize, bestDups = cover, len(chosen), dups
+				best = append(best[:0], chosen...)
+			}
+		}
+		if len(chosen) == maxRefs {
+			return
+		}
+		for i := start; i < n; i++ {
+			walk(i+1, append(chosen, i))
+		}
+	}
+	walk(0, nil)
+	if bestCover <= 0 {
+		return nil // no candidate matches even one word
+	}
+	// Drop members that add nothing over the rest of the chosen set.
+	out := make([]candidate, 0, len(best))
+	for k, i := range best {
+		var others uint32
+		for k2, j := range best {
+			if k2 != k {
+				others |= cands[j].cbv
+			}
+		}
+		if cands[i].cbv&^others != 0 || len(best) == 1 {
+			out = append(out, cands[i])
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, cands[best[0]])
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cable/internal/cache"
+)
+
+func cbvLine(words ...uint32) []byte {
+	line := make([]byte, 64)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(line[i*4:], w)
+	}
+	return line
+}
+
+func TestCoverageVector(t *testing.T) {
+	data := cbvLine(1, 2, 3, 4)
+	ref := cbvLine(1, 9, 3, 9)
+	cbv := CoverageVector(data, ref)
+	// Words 0 and 2 match; words 4..15 are zero in both → match too.
+	want := uint32(0b0101) | uint32(0xFFF0)
+	if cbv != want {
+		t.Fatalf("cbv = %016b, want %016b", cbv, want)
+	}
+}
+
+func TestCoverageVectorIdentical(t *testing.T) {
+	data := cbvLine(7, 8, 9)
+	if cbv := CoverageVector(data, data); cbv != 0xFFFF {
+		t.Fatalf("identical lines cbv = %x, want ffff", cbv)
+	}
+}
+
+func candList(cbvs ...uint32) []candidate {
+	cands := make([]candidate, len(cbvs))
+	for i, v := range cbvs {
+		cands[i] = candidate{homeID: cache.LineID{Index: i, Way: 0}, cbv: v, dups: 1}
+	}
+	return cands
+}
+
+func TestSelectRefsPaperExample(t *testing.T) {
+	// §III-C worked example: CBVs 1100, 0110, 0011. Greedy-with-swap
+	// drops 0110 and selects {1100, 0011} for full coverage.
+	cands := candList(0b1100, 0b0110, 0b0011)
+	got := selectRefs(cands, 3)
+	if len(got) != 2 {
+		t.Fatalf("selected %d refs, want 2", len(got))
+	}
+	if got[0].cbv|got[1].cbv != 0b1111 {
+		t.Fatalf("combined coverage %04b, want 1111", got[0].cbv|got[1].cbv)
+	}
+	for _, c := range got {
+		if c.cbv == 0b0110 {
+			t.Fatal("0110 should have been dropped")
+		}
+	}
+}
+
+func TestSelectRefsDropsRedundant(t *testing.T) {
+	// A candidate fully covered by the others must not waste a
+	// RemoteLID on the wire.
+	cands := candList(0b1111, 0b0011)
+	got := selectRefs(cands, 3)
+	if len(got) != 1 || got[0].cbv != 0b1111 {
+		t.Fatalf("got %d refs (cbv %04b)", len(got), got[0].cbv)
+	}
+}
+
+func TestSelectRefsMaxRefs(t *testing.T) {
+	cands := candList(0b0001, 0b0010, 0b0100, 0b1000)
+	got := selectRefs(cands, 3)
+	if len(got) != 3 {
+		t.Fatalf("selected %d refs, want 3 (cap)", len(got))
+	}
+	if got2 := selectRefs(cands, 0); got2 != nil {
+		t.Fatal("maxRefs=0 must select nothing")
+	}
+}
+
+func TestSelectRefsNoCoverage(t *testing.T) {
+	if got := selectRefs(candList(0, 0), 3); got != nil {
+		t.Fatalf("zero-coverage candidates selected: %v", got)
+	}
+	if got := selectRefs(nil, 3); got != nil {
+		t.Fatal("empty candidate list selected refs")
+	}
+}
+
+func TestSelectRefsPrefersHigherDups(t *testing.T) {
+	cands := candList(0b1100, 0b1100)
+	cands[1].dups = 5
+	got := selectRefs(cands, 3)
+	if len(got) != 1 || got[0].dups != 5 {
+		t.Fatalf("tie should prefer higher dup count, got %+v", got)
+	}
+}
+
+func TestPreRank(t *testing.T) {
+	cands := candList(1, 1, 1, 1, 1, 1, 1, 1)
+	cands[3].dups = 9
+	cands[6].dups = 5
+	top := preRank(cands, 3)
+	if len(top) != 3 {
+		t.Fatalf("pre-rank kept %d", len(top))
+	}
+	if top[0].dups != 9 || top[1].dups != 5 {
+		t.Fatalf("pre-rank order wrong: %+v", top)
+	}
+	// Stability: ties keep first-seen order (homeID index 0 next).
+	if top[2].homeID.Index != 0 {
+		t.Fatalf("pre-rank not stable: %+v", top[2])
+	}
+}

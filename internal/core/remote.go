@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/compress"
+	"cable/internal/sig"
+)
+
+// RemoteEnd is the decompressing side of a CABLE link: the smaller
+// cache that receives fills (the on-chip LLC in the memory-link use
+// case). It owns its own hash table — populated only from lines
+// received from the home cache — which drives write-back compression
+// (§III-G), and the eviction buffer that closes the §IV-A race.
+type RemoteEnd struct {
+	cfg    Config
+	remote *cache.Cache
+	engine compress.Engine
+	ex     *sig.Extractor
+	ht     *HashTable
+	evbuf  *EvictionBuffer
+
+	lineSize int
+
+	// Stats accumulates decoder/WB-encoder events.
+	Stats RemoteStats
+}
+
+// RemoteStats counts remote-end events.
+type RemoteStats struct {
+	FillDecodes   uint64
+	RescuedRefs   uint64 // references served by the eviction buffer
+	Writebacks    uint64
+	WBRawWins     uint64
+	WBStandalone  uint64
+	WBDiffWins    uint64
+	WBPayloadBits uint64
+	WBSourceBits  uint64
+}
+
+// NewRemoteEnd builds the remote side of a link. The hash table is
+// sized against the remote cache with the same size factor.
+func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := compress.NewEngine(cfg.EngineName)
+	if err != nil {
+		return nil, err
+	}
+	buckets := int(float64(remote.NumLines()) * cfg.HashSizeFactor / float64(cfg.BucketDepth))
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &RemoteEnd{
+		cfg:      cfg,
+		remote:   remote,
+		engine:   eng,
+		ex:       sig.NewExtractorN(remote.Config().LineSize, cfg.SigSeed, cfg.InsertSigs),
+		ht:       NewHashTable(buckets, cfg.BucketDepth),
+		evbuf:    NewEvictionBuffer(),
+		lineSize: remote.Config().LineSize,
+	}, nil
+}
+
+// HashTable exposes the remote hash table for tests and sizing.
+func (r *RemoteEnd) HashTable() *HashTable { return r.ht }
+
+// EvictionBuffer exposes the eviction buffer.
+func (r *RemoteEnd) EvictionBuffer() *EvictionBuffer { return r.evbuf }
+
+// RemoteLIDBits is the pointer width for this cache's geometry, or the
+// configured override for the tag-pointer ablation.
+func (r *RemoteEnd) RemoteLIDBits() int {
+	if r.cfg.PointerBitsOverride > 0 {
+		return r.cfg.PointerBitsOverride
+	}
+	return r.remote.IndexBits() + r.remote.WayBits()
+}
+
+// DecodeFill reconstructs a fill payload. References are read from the
+// remote data array by RemoteLID; if a referenced slot was evicted
+// after the home end produced the payload, the eviction buffer supplies
+// the copy (§IV-A).
+func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
+	r.Stats.FillDecodes++
+	if !p.Compressed {
+		if len(p.Raw) != r.lineSize {
+			return nil, fmt.Errorf("core: raw fill of %dB, want %dB", len(p.Raw), r.lineSize)
+		}
+		return append([]byte(nil), p.Raw...), nil
+	}
+	refs := make([][]byte, 0, len(p.Refs))
+	for _, rid := range p.Refs {
+		if data := r.evbuf.Resolve(rid, p.AckSeq); data != nil {
+			r.Stats.RescuedRefs++
+			refs = append(refs, data)
+			continue
+		}
+		line := r.remote.ReadByID(rid)
+		if line == nil {
+			return nil, fmt.Errorf("core: fill references empty remote slot %v", rid)
+		}
+		refs = append(refs, line.Data)
+	}
+	return r.engine.Decompress(p.Diff, refs, r.lineSize)
+}
+
+// OnFillInstalled must be called after the decoded line is installed in
+// the remote cache: shared lines enter the remote hash table so future
+// write-backs can reference them (§III-F).
+func (r *RemoteEnd) OnFillInstalled(id cache.LineID, data []byte, state cache.State) {
+	if state == cache.Shared {
+		r.ht.InsertLine(r.ex, data, id)
+	}
+}
+
+// OnEviction must be called when the remote cache evicts the line that
+// was at id with contents data. It scrubs the hash table, buffers the
+// copy against in-flight references, and returns the EvictSeq to embed
+// in the eviction notice (§IV-A).
+func (r *RemoteEnd) OnEviction(id cache.LineID, data []byte) uint64 {
+	r.ht.RemoveLine(r.ex, data, id)
+	return r.evbuf.Add(id, data)
+}
+
+// OnAck releases eviction-buffer entries the home cache has
+// acknowledged (piggybacked on responses).
+func (r *RemoteEnd) OnAck(seq uint64) { r.evbuf.Release(seq) }
+
+// OnSilentEviction scrubs a line evicted under the §IV-B silent
+// protocol: no eviction notice is sent — the home cache learns of the
+// displacement from the replacement-way info in the request that caused
+// it — so nothing enters the eviction buffer. Only valid for 1-1 or
+// linearly-interleaved home mappings, where the displacement is
+// processed before any response that could reference the victim.
+func (r *RemoteEnd) OnSilentEviction(id cache.LineID, data []byte) {
+	r.ht.RemoveLine(r.ex, data, id)
+}
+
+// OnUpgrade must be called when the core writes to a shared line: it
+// stops serving as a reference.
+func (r *RemoteEnd) OnUpgrade(id cache.LineID, data []byte) {
+	r.ht.RemoveLine(r.ex, data, id)
+}
+
+// EncodeWriteback compresses a dirty line being written back to the
+// home cache. References come from the remote end's own hash table and
+// must be clean shared lines; the payload carries the remote's own
+// LineIDs, which the home end translates through its WMT (§III-G).
+// Write-back compression is disabled for non-inclusive hierarchies.
+func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
+	r.Stats.Writebacks++
+	r.Stats.WBSourceBits += uint64(len(data) * 8)
+
+	standalone := r.engine.Compress(data, nil)
+	best := Payload{Compressed: true, Diff: standalone}
+	bestBits := best.Bits(r.RemoteLIDBits())
+	if rawBits := flagBits + len(data)*8; rawBits < bestBits {
+		best = Payload{Raw: append([]byte(nil), data...)}
+		bestBits = rawBits
+	}
+
+	searchRefs := r.cfg.WritebackCompression &&
+		compress.Ratio(len(data), standalone.NBits) < r.cfg.StandaloneThreshold
+	if searchRefs {
+		sigs := r.ex.SearchSignatures(data, r.cfg.MaxSearchSigs)
+		cands := r.gatherWBCandidates(data, sigs)
+		if refs := selectRefs(cands, r.cfg.MaxRefs); len(refs) > 0 {
+			refData := make([][]byte, len(refs))
+			rids := make([]cache.LineID, len(refs))
+			for i, c := range refs {
+				refData[i] = c.data
+				rids[i] = c.remoteID
+			}
+			diff := r.engine.Compress(data, refData)
+			p := Payload{Compressed: true, Refs: rids, Diff: diff}
+			if b := p.Bits(r.RemoteLIDBits()); b < bestBits {
+				best, bestBits = p, b
+			}
+		}
+	}
+	r.Stats.WBPayloadBits += uint64(bestBits)
+	switch {
+	case !best.Compressed:
+		r.Stats.WBRawWins++
+	case len(best.Refs) == 0:
+		r.Stats.WBStandalone++
+	default:
+		r.Stats.WBDiffWins++
+	}
+	return best
+}
+
+// gatherWBCandidates mirrors the home-side search against the remote
+// cache: candidates must still be present and in Shared state (a line
+// that was upgraded or evicted has left the hash table, but verify
+// anyway — the structure is allowed to be inexact, the result is not).
+func (r *RemoteEnd) gatherWBCandidates(data []byte, sigs []sig.Signature) []candidate {
+	type slot struct{ dups int }
+	counts := make(map[cache.LineID]*slot)
+	var order []cache.LineID
+	scratch := make([]cache.LineID, 0, r.cfg.BucketDepth)
+	for _, s := range sigs {
+		scratch = r.ht.Lookup(s, scratch[:0])
+		for _, id := range scratch {
+			if c, ok := counts[id]; ok {
+				c.dups++
+			} else {
+				counts[id] = &slot{dups: 1}
+				order = append(order, id)
+			}
+		}
+	}
+	cands := make([]candidate, 0, len(order))
+	for _, id := range order {
+		cands = append(cands, candidate{remoteID: id, dups: counts[id].dups})
+	}
+	cands = preRank(cands, r.cfg.AccessCount)
+	out := cands[:0]
+	for _, c := range cands {
+		line := r.remote.ReadByID(c.remoteID)
+		if line == nil || line.State != cache.Shared {
+			continue
+		}
+		c.data = line.Data
+		c.cbv = CoverageVector(data, line.Data)
+		if c.cbv == 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/cache"
+)
+
+// WMT is the Way-Map Table (§III-D): a home-cache structure that tracks
+// which home lines are resident in the remote cache and *where*. Its
+// layout mirrors the remote cache (remote sets × remote ways); each
+// entry holds a normalized HomeLID — alias + home way, where "alias" is
+// the home index bits left over after removing the remote index bits.
+// A hit at (remoteIndex, way) both proves remote residency and yields
+// the RemoteLID, cutting pointer size by more than half versus tags.
+type WMT struct {
+	sets      int
+	ways      int
+	remoteIdx int // remote index bits
+	aliasBits int // home index bits − remote index bits
+	entries   [][]wmtEntry
+
+	// Stats
+	Hits   uint64
+	Misses uint64
+}
+
+type wmtEntry struct {
+	alias   uint64
+	homeWay int
+	valid   bool
+}
+
+// NewWMT builds a WMT for a home cache of homeCfg tracking a remote
+// cache of remoteCfg. The home cache must have at least as many sets as
+// the remote (it is the larger, inclusive cache).
+func NewWMT(home, remote *cache.Cache) *WMT {
+	if home.IndexBits() < remote.IndexBits() {
+		panic(fmt.Sprintf("core: home cache %q has fewer sets than remote %q",
+			home.Config().Name, remote.Config().Name))
+	}
+	w := &WMT{
+		sets:      remote.NumSets(),
+		ways:      remote.Config().Ways,
+		remoteIdx: remote.IndexBits(),
+		aliasBits: home.IndexBits() - remote.IndexBits(),
+	}
+	w.entries = make([][]wmtEntry, w.sets)
+	for i := range w.entries {
+		w.entries[i] = make([]wmtEntry, w.ways)
+	}
+	return w
+}
+
+// split decomposes a home LineID into (remoteIndex, alias).
+func (w *WMT) split(homeID cache.LineID) (remoteIndex int, alias uint64) {
+	return homeID.Index & (w.sets - 1), uint64(homeID.Index) >> uint(w.remoteIdx)
+}
+
+// Lookup translates a HomeLID to a RemoteLID (Fig 9). ok is false when
+// the line is not guaranteed to exist in the remote cache.
+func (w *WMT) Lookup(homeID cache.LineID) (cache.LineID, bool) {
+	rIdx, alias := w.split(homeID)
+	for way, e := range w.entries[rIdx] {
+		if e.valid && e.alias == alias && e.homeWay == homeID.Way {
+			w.Hits++
+			return cache.LineID{Index: rIdx, Way: way}, true
+		}
+	}
+	w.Misses++
+	return cache.LineID{}, false
+}
+
+// Reverse translates a RemoteLID back to the HomeLID stored there —
+// the write-back decompression path (§III-G). ok is false for an
+// invalid slot.
+func (w *WMT) Reverse(remoteID cache.LineID) (cache.LineID, bool) {
+	if remoteID.Index < 0 || remoteID.Index >= w.sets || remoteID.Way < 0 || remoteID.Way >= w.ways {
+		return cache.LineID{}, false
+	}
+	e := w.entries[remoteID.Index][remoteID.Way]
+	if !e.valid {
+		return cache.LineID{}, false
+	}
+	homeIdx := int(e.alias)<<uint(w.remoteIdx) | remoteID.Index
+	return cache.LineID{Index: homeIdx, Way: e.homeWay}, true
+}
+
+// Set records that the home line homeID is resident in the remote cache
+// at remoteID. It returns the HomeLID previously tracked in that slot,
+// if any — the displaced line whose signatures must be invalidated.
+func (w *WMT) Set(remoteID cache.LineID, homeID cache.LineID) (displaced cache.LineID, wasValid bool) {
+	rIdx, alias := w.split(homeID)
+	if rIdx != remoteID.Index {
+		panic(fmt.Sprintf("core: WMT set index mismatch: home %v maps to remote set %d, slot is %d",
+			homeID, rIdx, remoteID.Index))
+	}
+	e := &w.entries[remoteID.Index][remoteID.Way]
+	if e.valid {
+		displaced = cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | remoteID.Index, Way: e.homeWay}
+		wasValid = true
+	}
+	*e = wmtEntry{alias: alias, homeWay: homeID.Way, valid: true}
+	return displaced, wasValid
+}
+
+// Clear invalidates the slot at remoteID, returning the HomeLID it
+// tracked.
+func (w *WMT) Clear(remoteID cache.LineID) (cache.LineID, bool) {
+	if remoteID.Index < 0 || remoteID.Index >= w.sets || remoteID.Way < 0 || remoteID.Way >= w.ways {
+		return cache.LineID{}, false
+	}
+	e := &w.entries[remoteID.Index][remoteID.Way]
+	if !e.valid {
+		return cache.LineID{}, false
+	}
+	homeID := cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | remoteID.Index, Way: e.homeWay}
+	*e = wmtEntry{}
+	return homeID, true
+}
+
+// ClearHome invalidates the slot tracking homeID, if any (used on home
+// evictions and upgrades, where the event is keyed by the home line).
+func (w *WMT) ClearHome(homeID cache.LineID) (cache.LineID, bool) {
+	rID, ok := w.Lookup(homeID)
+	if !ok {
+		return cache.LineID{}, false
+	}
+	w.entries[rID.Index][rID.Way] = wmtEntry{}
+	return rID, true
+}
+
+// ForEach visits every valid entry as (remoteID, homeID).
+func (w *WMT) ForEach(fn func(remoteID, homeID cache.LineID)) {
+	for idx := range w.entries {
+		for way, e := range w.entries[idx] {
+			if e.valid {
+				fn(cache.LineID{Index: idx, Way: way},
+					cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | idx, Way: e.homeWay})
+			}
+		}
+	}
+}
+
+// Occupancy counts valid entries.
+func (w *WMT) Occupancy() int {
+	n := 0
+	for _, set := range w.entries {
+		for _, e := range set {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EntryBits is the per-entry storage cost: alias bits + home way bits +
+// valid bit. For the paper's 8-way 8 MB LLC / 16-way 16 MB buffer this
+// is 1 alias + 3(+1) way bits ≈ 4 bits (§IV-D).
+func (w *WMT) EntryBits(homeWayBits int) int {
+	return w.aliasBits + homeWayBits + 1
+}
+
+// SizeBits returns total WMT storage for the area model.
+func (w *WMT) SizeBits(homeWayBits int) int {
+	return w.sets * w.ways * w.EntryBits(homeWayBits)
+}

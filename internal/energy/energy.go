@@ -1,0 +1,83 @@
+// Package energy implements the paper's power model (Table II and
+// Table V): CACTI-derived static/dynamic cache energies, Micron-derived
+// DRAM access energy, and the I/O link energy estimate of 25 nJ per
+// 64-byte transfer (§VI-A). The Fig 18 breakdown applies these
+// constants to event counts from the simulator.
+package energy
+
+// Table II relative scales (documentation constants, asserted in tests).
+const (
+	CPackCompressPJ = 50    // one CPACK compression
+	CacheAccessPJ   = 100   // 1MB slice access
+	IOLinkPJ        = 15000 // off-chip IO transfer (Table II)
+	DRAMAccessPJ    = 50600 // one DRAM access
+)
+
+// Params holds the Table V / §VI-A model constants.
+type Params struct {
+	// Static power in watts.
+	L1StaticW, L2StaticW, LLCStaticW, BufStaticW float64
+	// Dynamic energy per access in joules.
+	L1DynJ, L2DynJ, LLCDynJ, BufDynJ float64
+	// CABLE+LBE compression/decompression per operation (Table V).
+	CompJ, DecompJ float64
+	// Link energy per 64-byte-equivalent transfer: estimated at 50%
+	// of DRAM access energy (§VI-A), 25 nJ per 64 B.
+	LinkPer64BJ float64
+	// DRAM access energy (Micron DDR3 calculator).
+	DRAMAccessJ float64
+}
+
+// Default returns the paper's constants.
+func Default() Params {
+	return Params{
+		L1StaticW: 7.0e-3, L2StaticW: 20.0e-3, LLCStaticW: 169.7e-3, BufStaticW: 22.0e-3,
+		L1DynJ: 61.0e-12, L2DynJ: 32.0e-12, LLCDynJ: 92.1e-12, BufDynJ: 149.4e-12,
+		CompJ:       1000e-12,
+		DecompJ:     200e-12,
+		LinkPer64BJ: 25e-9,
+		DRAMAccessJ: 50.6e-9,
+	}
+}
+
+// Counts are the simulator event totals the model consumes.
+type Counts struct {
+	Seconds     float64 // simulated wall time (for static power)
+	L1Accesses  uint64
+	L2Accesses  uint64
+	LLCAccesses uint64
+	BufAccesses uint64 // DRAM-buffer (L4) accesses, incl. CABLE reads
+	DRAMAccess  uint64
+	LinkBytes   uint64 // on-wire bytes after compression
+	CompOps     uint64 // compression operations (incl. ranking reads)
+	DecompOps   uint64
+}
+
+// Breakdown is the Fig 18 energy decomposition in joules.
+type Breakdown struct {
+	SRAMStatic  float64
+	SRAMDynamic float64
+	Link        float64
+	DRAM        float64
+	CompEngine  float64
+	CompSRAM    float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.SRAMStatic + b.SRAMDynamic + b.Link + b.DRAM + b.CompEngine + b.CompSRAM
+}
+
+// Compute applies the model. compSRAMReads is the number of extra
+// data-array reads CABLE's search performs (eDRAM reference fetches).
+func (p Params) Compute(c Counts, compSRAMReads uint64) Breakdown {
+	return Breakdown{
+		SRAMStatic: c.Seconds * (p.L1StaticW + p.L2StaticW + p.LLCStaticW + p.BufStaticW),
+		SRAMDynamic: float64(c.L1Accesses)*p.L1DynJ + float64(c.L2Accesses)*p.L2DynJ +
+			float64(c.LLCAccesses)*p.LLCDynJ + float64(c.BufAccesses)*p.BufDynJ,
+		Link:       float64(c.LinkBytes) / 64 * p.LinkPer64BJ,
+		DRAM:       float64(c.DRAMAccess) * p.DRAMAccessJ,
+		CompEngine: float64(c.CompOps)*p.CompJ + float64(c.DecompOps)*p.DecompJ,
+		CompSRAM:   float64(compSRAMReads) * p.BufDynJ,
+	}
+}

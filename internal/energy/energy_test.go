@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIScales(t *testing.T) {
+	// Table II: cache access 2×, IO link 300×, DRAM ~1000× CPACK.
+	if CacheAccessPJ/CPackCompressPJ != 2 {
+		t.Fatal("cache access should be 2× CPACK")
+	}
+	if IOLinkPJ/CPackCompressPJ != 300 {
+		t.Fatal("IO link should be 300× CPACK")
+	}
+	if DRAMAccessPJ/CPackCompressPJ != 1012 {
+		t.Fatalf("DRAM should be ≈1000× CPACK, got %d×", DRAMAccessPJ/CPackCompressPJ)
+	}
+}
+
+func TestWorstCaseRequestEnergyBelowLink(t *testing.T) {
+	// §IV-D: worst-case CABLE energy ≈1.6nJ per request, about 1/10
+	// of an off-chip transfer (15nJ).
+	p := Default()
+	nineReads := 9 * 100e-12 // nine cache reads at ~100pJ (Table II)
+	comp := p.CompJ + p.DecompJ
+	worst := nineReads + comp
+	if worst > 2.2e-9 {
+		t.Fatalf("worst-case request energy %.2g J too high", worst)
+	}
+	if worst > float64(IOLinkPJ)*1e-12/5 {
+		t.Fatalf("request energy %.2g not ≪ link energy", worst)
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	p := Default()
+	c := Counts{
+		Seconds:     1e-3,
+		L1Accesses:  1000,
+		LLCAccesses: 100,
+		BufAccesses: 50,
+		DRAMAccess:  10,
+		LinkBytes:   6400, // 100 transfers
+		CompOps:     100,
+		DecompOps:   100,
+	}
+	b := p.Compute(c, 600)
+	wantStatic := 1e-3 * (7 + 20 + 169.7 + 22) * 1e-3
+	if math.Abs(b.SRAMStatic-wantStatic) > 1e-12 {
+		t.Fatalf("static = %g, want %g", b.SRAMStatic, wantStatic)
+	}
+	wantLink := 100 * 25e-9
+	if math.Abs(b.Link-wantLink) > 1e-15 {
+		t.Fatalf("link = %g, want %g", b.Link, wantLink)
+	}
+	if math.Abs(b.DRAM-10*50.6e-9) > 1e-15 {
+		t.Fatalf("dram = %g", b.DRAM)
+	}
+	if math.Abs(b.CompEngine-100*(1000e-12+200e-12)) > 1e-15 {
+		t.Fatalf("comp = %g", b.CompEngine)
+	}
+	if b.CompSRAM <= 0 {
+		t.Fatal("comp SRAM reads must cost energy")
+	}
+	if b.Total() <= b.Link {
+		t.Fatal("total must exceed any component")
+	}
+}
+
+func TestLinkDominatesCompression(t *testing.T) {
+	// The paper's core energy argument: saving a 64B transfer (25nJ)
+	// dwarfs the compression spent to save it (1.2nJ + reads).
+	p := Default()
+	saved := p.LinkPer64BJ
+	spent := p.CompJ + p.DecompJ + 9*p.BufDynJ
+	if spent*5 > saved {
+		t.Fatalf("compression %.3g J not ≪ link transfer %.3g J", spent, saved)
+	}
+}

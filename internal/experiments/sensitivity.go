@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cable/internal/sim"
+	"cable/internal/stats"
+)
+
+// Fig19a sweeps the per-thread LLC allocation (1:4 LLC:L4 kept).
+func Fig19a(opt Options) (*Result, error) {
+	sizes := []int{128 << 10, 512 << 10, 2 << 20, 8 << 20}
+	if opt.Quick {
+		sizes = []int{64 << 10, 256 << 10, 1 << 20}
+	}
+	t := stats.NewTable("Fig 19a: compression vs LLC size", "cpack", "gzip", "cable")
+	names := sweepSubset(opt)
+	for _, size := range sizes {
+		agg := map[string][]float64{}
+		for _, name := range names {
+			cfg := memLinkCfg(opt, name)
+			cfg.Chip.LLCBytes = size
+			cfg.Chip.L4Bytes = size * 4
+			res, err := sim.RunMemoryLink(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"cpack", "gzip", "cable"} {
+				agg[s] = append(agg[s], res.Ratio(s))
+			}
+		}
+		row := fmt.Sprintf("%dKB", size>>10)
+		if size >= 1<<20 {
+			row = fmt.Sprintf("%dMB", size>>20)
+		}
+		for s, vs := range agg {
+			t.Set(row, s, stats.Mean(vs))
+		}
+	}
+	return &Result{ID: "fig19a", Table: t, Notes: []string{
+		"paper: ratios mostly static across cache sizes, improving slightly at larger caches",
+	}}, nil
+}
+
+// Fig19b sweeps the LLC:L4 ratio with the LLC fixed: the reachable
+// shared data is bounded by the smaller cache, so ratios barely move.
+func Fig19b(opt Options) (*Result, error) {
+	ratios := []int{2, 4, 8}
+	t := stats.NewTable("Fig 19b: compression vs LLC:L4 ratio", "cpack", "gzip", "cable")
+	names := sweepSubset(opt)
+	for _, r := range ratios {
+		agg := map[string][]float64{}
+		for _, name := range names {
+			cfg := memLinkCfg(opt, name)
+			cfg.Chip.L4Bytes = cfg.Chip.LLCBytes * r
+			res, err := sim.RunMemoryLink(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"cpack", "gzip", "cable"} {
+				agg[s] = append(agg[s], res.Ratio(s))
+			}
+		}
+		for s, vs := range agg {
+			t.Set(fmt.Sprintf("1:%d", r), s, stats.Mean(vs))
+		}
+	}
+	return &Result{ID: "fig19b", Table: t, Notes: []string{
+		"paper: averages vary within ~1% across L4 ratios (dictionary bounded by the smaller cache)",
+	}}, nil
+}
+
+// Fig21 sweeps the hash table size from 2x down to 1/2048x of
+// full-sized, reporting compression relative to the 2x table.
+func Fig21(opt Options) (*Result, error) {
+	factors := []float64{2, 1, 0.5, 0.125, 1.0 / 64, 1.0 / 512, 1.0 / 2048}
+	if opt.Quick {
+		factors = []float64{2, 0.5, 1.0 / 64, 1.0 / 2048}
+	}
+	names := sweepSubset(opt)
+	t := stats.NewTable("Fig 21: compression vs hash table size (relative to 2x)", "relative")
+	var base float64
+	for _, f := range factors {
+		var vs []float64
+		for _, name := range names {
+			cfg := memLinkCfg(opt, name)
+			cfg.WithMeters = false
+			cfg.Chip.Cable.HashSizeFactor = f
+			res, err := sim.RunMemoryLink(cfg)
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, res.Ratio("cable"))
+		}
+		m := stats.Mean(vs)
+		if base == 0 {
+			base = m
+		}
+		t.Set(fmt.Sprintf("%gx", f), "relative", m/base)
+	}
+	return &Result{ID: "fig21", Table: t, Notes: []string{
+		"paper: graceful degradation; 1/8x loses <7% worst case",
+	}}, nil
+}
+
+// Fig22 sweeps the data access count (pre-ranked candidates read from
+// the data array), relative to 64 accesses.
+func Fig22(opt Options) (*Result, error) {
+	counts := []int{1, 2, 4, 6, 8, 16, 32, 64}
+	if opt.Quick {
+		counts = []int{1, 6, 16, 64}
+	}
+	names := sweepSubset(opt)
+	t := stats.NewTable("Fig 22: compression vs data access count (relative to 64)", "relative")
+	means := map[int]float64{}
+	for _, n := range counts {
+		var vs []float64
+		for _, name := range names {
+			cfg := memLinkCfg(opt, name)
+			cfg.WithMeters = false
+			cfg.Chip.Cable.AccessCount = n
+			res, err := sim.RunMemoryLink(cfg)
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, res.Ratio("cable"))
+		}
+		means[n] = stats.Mean(vs)
+	}
+	base := means[64]
+	for _, n := range counts {
+		t.Set(fmt.Sprintf("%d", n), "relative", means[n]/base)
+	}
+	return &Result{ID: "fig22", Table: t, Notes: []string{
+		"paper: one access stays within 80% of 64 accesses — pre-ranking filters collisions well",
+	}}, nil
+}
+
+// Fig23 sweeps the physical link width; wide flits waste bits on small
+// payloads unless the packed transport is used.
+func Fig23(opt Options) (*Result, error) {
+	type variant struct {
+		name   string
+		width  int
+		packed bool
+	}
+	variants := []variant{
+		{"16-bit", 16, false},
+		{"32-bit", 32, false},
+		{"64-bit", 64, false},
+		{"64-bit-packed", 64, true},
+	}
+	names := append(sweepSubset(opt), "mcf", "lbm")
+	t := stats.NewTable("Fig 23: effective compression vs link width", "cable")
+	for _, v := range variants {
+		var vs []float64
+		for _, name := range names {
+			cfg := memLinkCfg(opt, name)
+			cfg.WithMeters = false
+			cfg.Chip.Link.WidthBits = v.width
+			cfg.Chip.Link.Packed = v.packed
+			res, err := sim.RunMemoryLink(cfg)
+			if err != nil {
+				return nil, err
+			}
+			vs = append(vs, res.Ratio("cable"))
+		}
+		t.Set(v.name, "cable", stats.Mean(vs))
+	}
+	return &Result{ID: "fig23", Table: t, Notes: []string{
+		"paper: effective ratio degrades at wider links (flit padding); packed transport recovers it",
+	}}, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cable/internal/energy"
+	"cable/internal/sim"
+	"cable/internal/stats"
+)
+
+func timingCfg(opt Options, scheme, bench string, totalTh int) sim.TimingConfig {
+	cfg := sim.DefaultTimingConfig(scheme, bench)
+	cfg.TotalTh = totalTh
+	if opt.Quick {
+		cfg.Threads = 4
+		cfg.InstrPerTh = 250_000
+		cfg.LLCPerThread = 64 << 10
+	} else {
+		cfg.Threads = 8
+		cfg.InstrPerTh = 600_000
+		cfg.LLCPerThread = 128 << 10
+		// The paper's 4 MB-per-thread L4 absorbs most post-LLC misses,
+		// keeping the off-chip link (not DRAM) the bottleneck; at our
+		// scaled-down cache sizes that requires a deeper L4 ratio.
+		cfg.L4Ratio = 8
+	}
+	return cfg
+}
+
+// speedupSet runs the uncompressed baseline once, then each scheme,
+// returning throughput ratios.
+func speedupSet(opt Options, schemes []string, bench string, totalTh int) (map[string]float64, error) {
+	base, err := sim.RunTiming(timingCfg(opt, "none", bench, totalTh))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(schemes))
+	for _, s := range schemes {
+		res, err := sim.RunTiming(timingCfg(opt, s, bench, totalTh))
+		if err != nil {
+			return nil, err
+		}
+		out[s] = res.Throughput / base.Throughput
+	}
+	return out, nil
+}
+
+// Fig14a is the per-benchmark throughput speedup at 2048 threads.
+func Fig14a(opt Options) (*Result, error) {
+	schemes := []string{"cpack", "gzip", "cable"}
+	t := stats.NewTable("Fig 14a: throughput speedup at 2048 threads", schemes...)
+	names := benchSubset(opt, false)
+	if opt.Quick {
+		names = []string{"mcf", "lbm", "omnetpp", "soplex", "gobmk", "povray"}
+	}
+	for _, name := range names {
+		set, err := speedupSet(opt, schemes, name, 2048)
+		if err != nil {
+			return nil, err
+		}
+		for s, v := range set {
+			t.Set(name, s, v)
+		}
+	}
+	t.AddMeanRow("mean")
+	return &Result{ID: "fig14a", Table: t, Notes: []string{
+		"paper: CABLE 3.78x mean at 2048 threads; memory-bound (mcf, lbm) gain most, compute-bound (povray, gobmk) flat",
+	}}, nil
+}
+
+// Fig14b sweeps thread count: speedups appear once bandwidth is
+// oversubscribed.
+func Fig14b(opt Options) (*Result, error) {
+	schemes := []string{"cpack", "gzip", "cable"}
+	counts := []int{256, 512, 1024, 2048}
+	names := []string{"mcf", "lbm", "omnetpp", "soplex", "milc", "libquantum"}
+	if opt.Quick {
+		counts = []int{256, 1024, 2048}
+		names = names[:3]
+	}
+	t := stats.NewTable("Fig 14b: mean speedup vs thread count", schemes...)
+	for _, n := range counts {
+		agg := map[string][]float64{}
+		for _, name := range names {
+			set, err := speedupSet(opt, schemes, name, n)
+			if err != nil {
+				return nil, err
+			}
+			for s, v := range set {
+				agg[s] = append(agg[s], v)
+			}
+		}
+		for s, vs := range agg {
+			t.Set(fmt.Sprintf("%d threads", n), s, stats.Mean(vs))
+		}
+	}
+	return &Result{ID: "fig14b", Table: t, Notes: []string{
+		"paper: marginal at 256 threads; CABLE pulls ahead at high thread counts",
+	}}, nil
+}
+
+// singleThreadCfg gives one thread ample bandwidth: latency is the only
+// compression cost (Fig 17's setting).
+func singleThreadCfg(opt Options, scheme, bench string) sim.TimingConfig {
+	cfg := timingCfg(opt, scheme, bench, 16)
+	cfg.Threads = 1
+	cfg.TotalTh = 16
+	cfg.TotalLinkBW = 19.2e9 * 16 // one uncontended channel's worth per thread
+	cfg.SampleWindowSec = 20e-6   // scaled runs simulate ≪1ms of wall time
+	return cfg
+}
+
+// Fig17 measures single-thread slowdown from compression latencies.
+func Fig17(opt Options) (*Result, error) {
+	schemes := []string{"cpack", "gzip", "cable"}
+	t := stats.NewTable("Fig 17: single-thread degradation (fraction)", schemes...)
+	names := benchSubset(opt, false)
+	if opt.Quick {
+		names = []string{"mcf", "omnetpp", "soplex", "gcc", "povray"}
+	}
+	for _, name := range names {
+		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range schemes {
+			res, err := sim.RunTiming(singleThreadCfg(opt, s, name))
+			if err != nil {
+				return nil, err
+			}
+			t.Set(name, s, 1-res.IPCPerThread/base.IPCPerThread)
+		}
+	}
+	t.AddMeanRow("mean")
+	return &Result{ID: "fig17", Table: t, Notes: []string{
+		"paper: overhead proportional to comp+decomp latency; CABLE ≈5% mean, 10% max",
+	}}, nil
+}
+
+// Fig18 is the normalized memory-subsystem energy breakdown, baseline
+// vs CABLE+LBE.
+func Fig18(opt Options) (*Result, error) {
+	t := stats.NewTable("Fig 18: energy (normalized to baseline total)",
+		"base-sram", "base-link", "base-dram", "cable-sram", "cable-link", "cable-dram", "cable-comp", "cable-total")
+	names := benchSubset(opt, false)
+	if opt.Quick {
+		names = []string{"mcf", "omnetpp", "soplex", "gobmk"}
+	}
+	p := energy.Default()
+	for _, name := range names {
+		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
+		if err != nil {
+			return nil, err
+		}
+		cable, err := sim.RunTiming(singleThreadCfg(opt, "cable", name))
+		if err != nil {
+			return nil, err
+		}
+		toCounts := func(r *sim.TimingResult) energy.Counts {
+			return energy.Counts{
+				Seconds:     r.Seconds,
+				L1Accesses:  r.L1Accesses,
+				L2Accesses:  r.L2Accesses,
+				LLCAccesses: r.LLCAccesses,
+				BufAccesses: r.L4Accesses,
+				DRAMAccess:  r.DRAMAccesses,
+				LinkBytes:   r.WireBytes,
+				CompOps:     r.CompOps,
+				DecompOps:   r.DecompOps,
+			}
+		}
+		be := p.Compute(toCounts(base), 0)
+		ce := p.Compute(toCounts(cable), cable.SearchReads)
+		norm := be.Total()
+		t.Set(name, "base-sram", (be.SRAMStatic+be.SRAMDynamic)/norm)
+		t.Set(name, "base-link", be.Link/norm)
+		t.Set(name, "base-dram", be.DRAM/norm)
+		t.Set(name, "cable-sram", (ce.SRAMStatic+ce.SRAMDynamic)/norm)
+		t.Set(name, "cable-link", ce.Link/norm)
+		t.Set(name, "cable-dram", ce.DRAM/norm)
+		t.Set(name, "cable-comp", (ce.CompEngine+ce.CompSRAM)/norm)
+		t.Set(name, "cable-total", ce.Total()/norm)
+	}
+	t.AddMeanRow("mean")
+	return &Result{ID: "fig18", Table: t, Notes: []string{
+		"paper: link ≈20% of subsystem energy; CABLE saves ~16% total, compression energy small",
+	}}, nil
+}
+
+// OnOff evaluates the §VI-D adaptive control.
+func OnOff(opt Options) (*Result, error) {
+	t := stats.NewTable("§VI-D: on/off control", "always-on-loss", "adaptive-loss", "off-windows")
+	names := []string{"omnetpp", "soplex", "gcc"}
+	if opt.Quick {
+		names = names[:2]
+	}
+	for _, name := range names {
+		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
+		if err != nil {
+			return nil, err
+		}
+		always, err := sim.RunTiming(singleThreadCfg(opt, "cable", name))
+		if err != nil {
+			return nil, err
+		}
+		acfg := singleThreadCfg(opt, "cable", name)
+		acfg.OnOff = true
+		adaptive, err := sim.RunTiming(acfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Set(name, "always-on-loss", 1-always.IPCPerThread/base.IPCPerThread)
+		t.Set(name, "adaptive-loss", 1-adaptive.IPCPerThread/base.IPCPerThread)
+		t.Set(name, "off-windows", float64(adaptive.OffWindows))
+	}
+	t.AddMeanRow("mean")
+	return &Result{ID: "onoff", Table: t, Notes: []string{
+		"paper: on/off control nullifies single-thread loss at a 2.3% mean throughput cost",
+	}}, nil
+}

@@ -1,0 +1,172 @@
+// Package link models the narrow off-chip links CABLE compresses: flit
+// quantization (which caps effective compression at width/8 per byte —
+// 32× for the default 16-bit bus, §III-E), the packed transport of
+// Fig 23, wire bit-toggle counting (§VI-D), and a busy-until channel for
+// the timing simulator.
+package link
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one physical link.
+type Config struct {
+	// WidthBits is the physical width; Table IV uses 16 bits.
+	WidthBits int
+	// FreqHz is the transfer rate; Table IV uses 9.6 GHz (19.2 GB/s
+	// at 16 bits).
+	FreqHz float64
+	// Packed enables the Fig 23 "Packed" transport: transactions are
+	// packed back-to-back with a 6-bit length prefix instead of being
+	// padded to flit boundaries.
+	Packed bool
+}
+
+// DefaultConfig is the paper's off-chip link (Table IV).
+func DefaultConfig() Config {
+	return Config{WidthBits: 16, FreqHz: 9.6e9}
+}
+
+// BytesPerSec is the raw link bandwidth.
+func (c Config) BytesPerSec() float64 { return c.FreqHz * float64(c.WidthBits) / 8 }
+
+// packedLenBits is the per-transaction length prefix of the packed
+// transport (§VI-E: "a 6-bit value specifying the length in bytes").
+const packedLenBits = 6
+
+// Link accumulates traffic statistics for one direction of a channel.
+type Link struct {
+	cfg Config
+
+	// Payloads is the number of transactions sent.
+	Payloads uint64
+	// PayloadBits is the pre-quantization compressed size.
+	PayloadBits uint64
+	// WireBits is the post-quantization on-wire size (flits × width,
+	// or exact bits + length prefixes when packed).
+	WireBits uint64
+	// Toggles counts wire bit transitions (§VI-D).
+	Toggles uint64
+
+	residualBits int    // unused bits in the current packed flit
+	prevWord     uint64 // last transmitted width-wide word, for toggles
+}
+
+// New builds a link. Width must be in (0, 64] to fit toggle words.
+func New(cfg Config) *Link {
+	if cfg.WidthBits <= 0 || cfg.WidthBits > 64 {
+		panic(fmt.Sprintf("link: width %d out of range", cfg.WidthBits))
+	}
+	return &Link{cfg: cfg}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Flits returns how many width-wide transfers a payload of n bits
+// occupies on an unpacked link.
+func (l *Link) Flits(nbits int) int {
+	return (nbits + l.cfg.WidthBits - 1) / l.cfg.WidthBits
+}
+
+// Send accounts one payload of nbits and returns its on-wire size in
+// bits after quantization/packing.
+func (l *Link) Send(nbits int) int {
+	l.Payloads++
+	l.PayloadBits += uint64(nbits)
+	var wire int
+	if l.cfg.Packed {
+		total := nbits + packedLenBits
+		// Consume the residual of the current flit first.
+		if l.residualBits >= total {
+			l.residualBits -= total
+			wire = total
+		} else {
+			rem := total - l.residualBits
+			flits := (rem + l.cfg.WidthBits - 1) / l.cfg.WidthBits
+			l.residualBits = flits*l.cfg.WidthBits - rem
+			wire = total
+		}
+	} else {
+		wire = l.Flits(nbits) * l.cfg.WidthBits
+	}
+	l.WireBits += uint64(wire)
+	return wire
+}
+
+// SendWire accounts a payload with its wire image for toggle counting:
+// the bit stream is split into width-wide words and transitions between
+// consecutive words (including across payloads) are counted, modeling
+// an unscrambled DDR-style bus. nbits sizes the transfer; if the image
+// is shorter than nbits (small framing bits not materialized), toggles
+// are counted over the available image only.
+func (l *Link) SendWire(data []byte, nbits int) int {
+	wire := l.Send(nbits)
+	w := l.cfg.WidthBits
+	toggleBits := nbits
+	if m := len(data) * 8; m < toggleBits {
+		toggleBits = m
+	}
+	for off := 0; off < toggleBits; off += w {
+		var word uint64
+		for b := 0; b < w && off+b < toggleBits; b++ {
+			byteIdx := (off + b) / 8
+			bit := (data[byteIdx] >> (7 - uint((off+b)%8))) & 1
+			word = word<<1 | uint64(bit)
+		}
+		l.Toggles += uint64(bits.OnesCount64(word ^ l.prevWord))
+		l.prevWord = word
+	}
+	return wire
+}
+
+// EffectiveRatio is the paper's headline metric: source bytes over wire
+// bits, i.e. how much raw bandwidth the link now appears to have.
+func (l *Link) EffectiveRatio(sourceBytes uint64) float64 {
+	if l.WireBits == 0 {
+		return 1
+	}
+	return float64(sourceBytes*8) / float64(l.WireBits)
+}
+
+// Channel is the busy-until timing model for one link direction: FCFS
+// occupancy, no preemption — exactly the first-order serialization
+// bottleneck the throughput study measures.
+type Channel struct {
+	cfg       Config
+	busyUntil float64 // seconds
+	Busy      float64 // accumulated occupancy, for utilization metrics
+}
+
+// NewChannel builds a timing channel.
+func NewChannel(cfg Config) *Channel { return &Channel{cfg: cfg} }
+
+// Transfer schedules nbits at time now (seconds) and returns the
+// completion time. Transfers serialize FCFS.
+func (c *Channel) Transfer(now float64, nbits int) float64 {
+	dur := float64(nbits) / (c.cfg.FreqHz * float64(c.cfg.WidthBits))
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + dur
+	c.Busy += dur
+	return c.busyUntil
+}
+
+// Utilization returns the busy fraction over elapsed seconds.
+func (c *Channel) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := c.Busy / elapsed
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetWindow clears the occupancy accumulator (used by the §VI-D
+// on/off control scheme, which samples utilization every millisecond).
+func (c *Channel) ResetWindow() { c.Busy = 0 }

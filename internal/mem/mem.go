@@ -1,0 +1,53 @@
+// Package mem is the lazily-materialized backing store behind the
+// simulated memory hierarchy: line contents are generated on first
+// touch by the owning workload's content function and mutated by
+// write-backs thereafter.
+package mem
+
+import "fmt"
+
+// Store maps line addresses to 64-byte contents.
+type Store struct {
+	lineSize int
+	data     map[uint64][]byte
+	fill     func(lineAddr uint64) []byte
+
+	// Reads/Writes count backing-store traffic (≈ DRAM accesses).
+	Reads  uint64
+	Writes uint64
+}
+
+// NewStore builds a store; fill materializes cold lines and must return
+// exactly lineSize bytes.
+func NewStore(lineSize int, fill func(lineAddr uint64) []byte) *Store {
+	return &Store{lineSize: lineSize, data: make(map[uint64][]byte), fill: fill}
+}
+
+// Read returns the contents of lineAddr, materializing it if cold. The
+// returned slice is owned by the store; callers must copy before
+// mutating.
+func (s *Store) Read(lineAddr uint64) []byte {
+	s.Reads++
+	if d, ok := s.data[lineAddr]; ok {
+		return d
+	}
+	d := s.fill(lineAddr)
+	if len(d) != s.lineSize {
+		panic(fmt.Sprintf("mem: fill returned %dB for line %#x, want %dB", len(d), lineAddr, s.lineSize))
+	}
+	s.data[lineAddr] = d
+	return d
+}
+
+// Write replaces the contents of lineAddr (a write-back reaching
+// memory). The data is copied.
+func (s *Store) Write(lineAddr uint64, data []byte) {
+	if len(data) != s.lineSize {
+		panic(fmt.Sprintf("mem: write of %dB to line %#x, want %dB", len(data), lineAddr, s.lineSize))
+	}
+	s.Writes++
+	s.data[lineAddr] = append([]byte(nil), data...)
+}
+
+// Lines returns how many lines have been materialized.
+func (s *Store) Lines() int { return len(s.data) }

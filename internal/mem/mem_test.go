@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreLazyFill(t *testing.T) {
+	fills := 0
+	s := NewStore(4, func(a uint64) []byte {
+		fills++
+		return []byte{byte(a), 0, 0, 0}
+	})
+	d := s.Read(7)
+	if d[0] != 7 || fills != 1 {
+		t.Fatalf("read = %v, fills = %d", d, fills)
+	}
+	s.Read(7)
+	if fills != 1 {
+		t.Fatal("second read must not refill")
+	}
+	if s.Lines() != 1 || s.Reads != 2 {
+		t.Fatalf("lines=%d reads=%d", s.Lines(), s.Reads)
+	}
+}
+
+func TestStoreWrite(t *testing.T) {
+	s := NewStore(4, func(uint64) []byte { return make([]byte, 4) })
+	w := []byte{1, 2, 3, 4}
+	s.Write(9, w)
+	w[0] = 99
+	if got := s.Read(9); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("write not copied: %v", got)
+	}
+	if s.Writes != 1 {
+		t.Fatalf("writes = %d", s.Writes)
+	}
+}
+
+func TestStorePanicsOnSizeMismatch(t *testing.T) {
+	s := NewStore(4, func(uint64) []byte { return make([]byte, 3) })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad fill size should panic")
+			}
+		}()
+		s.Read(1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad write size should panic")
+			}
+		}()
+		s.Write(1, []byte{1})
+	}()
+}

@@ -1,0 +1,138 @@
+package sig
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// WordSize is the signature sampling granularity in bytes. CABLE samples
+// 32-bit words and shifts offsets by four bytes rather than one (§III-A),
+// exploiting the 32/64-bit alignment of most language runtimes.
+const WordSize = 4
+
+// Signature is the hashed, shortened (32-bit) representation of a cache
+// line used to index the hash table.
+type Signature uint32
+
+// IsTrivial reports whether a 32-bit word is trivial: 24 or more bits of
+// leading zeroes or leading ones (Fig 6). Trivial words (zeroes, small
+// positive/negative integers) are too common to identify a line.
+func IsTrivial(w uint32) bool {
+	return bits.LeadingZeros32(w) >= 24 || bits.LeadingZeros32(^w) >= 24
+}
+
+// Word returns the 32-bit little-endian word at byte offset off.
+func Word(line []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(line[off : off+WordSize])
+}
+
+// Extractor turns cache lines into signatures. It is shared by the home
+// and remote sides of a link, which must agree on hashing.
+type Extractor struct {
+	h *H3
+	// insertOffsets are the default sampling positions used when
+	// inserting a line into the hash table (Fig 5). Only two
+	// signatures are inserted per line to keep hash collisions low
+	// (§III-B).
+	insertOffsets []int
+}
+
+// DefaultInsertOffsets mirrors Fig 5: one signature sampled from the
+// first half of the line and one from the second half.
+func DefaultInsertOffsets(lineSize int) []int {
+	return []int{0, lineSize / 2}
+}
+
+// InsertOffsetsN spaces n sampling positions evenly across the line
+// (the bucket-count ablation; n=2 reproduces the paper's default).
+func InsertOffsetsN(lineSize, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > lineSize/WordSize {
+		n = lineSize / WordSize
+	}
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = (i * lineSize / n) &^ (WordSize - 1)
+	}
+	return offs
+}
+
+// NewExtractor builds an extractor for the given line size using a
+// deterministic H3 seed and the paper's two insert offsets.
+func NewExtractor(lineSize int, seed int64) *Extractor {
+	return NewExtractorN(lineSize, seed, 2)
+}
+
+// NewExtractorN builds an extractor with n insert-signature offsets
+// (§III-B studies keeping this low to limit hash collisions).
+func NewExtractorN(lineSize int, seed int64, n int) *Extractor {
+	return &Extractor{h: NewH3(seed), insertOffsets: InsertOffsetsN(lineSize, n)}
+}
+
+// hashWord computes the signature of one non-trivial word.
+func (e *Extractor) hashWord(w uint32) Signature { return Signature(e.h.Hash(w)) }
+
+// advance returns the first offset at or after start holding a
+// non-trivial word, or -1 if none remains. Offsets move forward in
+// 4-byte steps (Fig 6).
+func advance(line []byte, start int) int {
+	for off := start; off+WordSize <= len(line); off += WordSize {
+		if !IsTrivial(Word(line, off)) {
+			return off
+		}
+	}
+	return -1
+}
+
+// InsertSignatures extracts the (at most two) signatures used when a
+// line is inserted into the hash table. Each default offset is moved
+// forward past trivial words; duplicate signatures collapse.
+func (e *Extractor) InsertSignatures(line []byte) []Signature {
+	sigs := make([]Signature, 0, len(e.insertOffsets))
+	for _, base := range e.insertOffsets {
+		off := advance(line, base)
+		if off < 0 {
+			continue
+		}
+		s := e.hashWord(Word(line, off))
+		if len(sigs) == 0 || sigs[len(sigs)-1] != s {
+			sigs = append(sigs, s)
+		}
+	}
+	return sigs
+}
+
+// SearchSignatures extracts every distinct non-trivial word signature in
+// the line, up to max (the paper uses 16 for 64-byte lines, §III-C).
+// A zero-filled line yields none.
+func (e *Extractor) SearchSignatures(line []byte, max int) []Signature {
+	sigs := make([]Signature, 0, max)
+	seen := make(map[Signature]struct{}, max)
+	for off := 0; off+WordSize <= len(line) && len(sigs) < max; off += WordSize {
+		w := Word(line, off)
+		if IsTrivial(w) {
+			continue
+		}
+		s := e.hashWord(w)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		sigs = append(sigs, s)
+	}
+	return sigs
+}
+
+// NonTrivialWords counts non-trivial 32-bit words in the line; the
+// search latency model uses it (fewer signatures → shorter search).
+func NonTrivialWords(line []byte) int {
+	n := 0
+	for off := 0; off+WordSize <= len(line); off += WordSize {
+		if !IsTrivial(Word(line, off)) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package sig implements CABLE's signature mechanism (§III-A): sampling
+// 32-bit words from a cache line, skipping trivial words, and hashing
+// them with the H3 universal hash family used in the paper's OpenPiton
+// search pipeline.
+package sig
+
+import "math/rand"
+
+// H3 is an instance of the H3 universal hash family (Carter & Wegman).
+// Each of the 32 input bits selects a random row; the hash is the XOR of
+// the selected rows. H3 is cheap in hardware (one XOR tree per output
+// bit) which is why the paper's RTL uses it.
+type H3 struct {
+	rows [32]uint32
+}
+
+// NewH3 builds an H3 instance from a deterministic seed so that home and
+// remote caches — and repeated simulator runs — agree on every hash.
+func NewH3(seed int64) *H3 {
+	rng := rand.New(rand.NewSource(seed))
+	h := &H3{}
+	for i := range h.rows {
+		h.rows[i] = rng.Uint32()
+	}
+	return h
+}
+
+// Hash maps a 32-bit word to a 32-bit hash.
+func (h *H3) Hash(x uint32) uint32 {
+	var out uint32
+	for i := 0; x != 0; i++ {
+		if x&1 != 0 {
+			out ^= h.rows[i]
+		}
+		x >>= 1
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/compress"
+	"cable/internal/core"
+	"cable/internal/link"
+	"cable/internal/mem"
+	"cable/internal/stats"
+	"cable/internal/workload"
+)
+
+// ChipConfig sizes a memory-link chip: an on-chip LLC (the remote
+// cache) backed over a narrow off-chip link by a DRAM buffer L4 (the
+// home cache, inclusive of the LLC — the Table IV configuration).
+type ChipConfig struct {
+	LLCBytes int
+	LLCWays  int
+	L4Bytes  int
+	L4Ways   int
+	LineSize int
+	// LLCPolicy / L4Policy select replacement policies (LRU default).
+	// CABLE's synchronization is policy-agnostic (§II-C).
+	LLCPolicy cache.Policy
+	L4Policy  cache.Policy
+	Link      link.Config
+	Cable     core.Config
+	// EnableCable runs the full CABLE protocol (home/remote ends).
+	EnableCable bool
+	// Scheme selects the compressor whose bits drive Transfer
+	// reporting when CABLE is disabled: "none", "bdi", "cpack",
+	// "cpack128", "lbe256" or "gzip". The timing simulator runs one
+	// scheme per simulation this way.
+	Scheme string
+	// Verify decodes every CABLE payload and checks it bit-exact
+	// against the home data. Always on in tests; the pure-throughput
+	// benches may disable it.
+	Verify bool
+	// TagPointers prices each reference at 40 tag bits instead of
+	// RemoteLID width — the §III-D ablation quantifying what the WMT
+	// buys.
+	TagPointers bool
+	// SilentEvictions enables the §IV-B protocol: clean LLC victims
+	// send no eviction notice — the home cache learns of displacements
+	// from the replacement-way info embedded in requests. Valid for
+	// 1-1 home mappings (one DRAM buffer behind the LLC), as here.
+	SilentEvictions bool
+}
+
+// DefaultChipConfig returns the Table IV single-thread configuration:
+// 1 MB LLC share, 4 MB L4 share (1:4), 16-bit 9.6 GHz link.
+func DefaultChipConfig() ChipConfig {
+	return ChipConfig{
+		LLCBytes: 1 << 20, LLCWays: 8,
+		L4Bytes: 4 << 20, L4Ways: 16,
+		LineSize:    64,
+		Link:        link.DefaultConfig(),
+		Cable:       core.DefaultConfig(),
+		EnableCable: true,
+		Verify:      true,
+	}
+}
+
+// Transfer reports what one access did, for the timing and energy
+// models.
+type Transfer struct {
+	LLCHit  bool
+	L4Hit   bool
+	Fill    bool // an off-chip fill occurred
+	WB      bool // an LLC victim was written back over the link
+	Upgrade bool
+
+	// FillBits / WBBits are CABLE wire bits for this access (raw line
+	// bits when CABLE is disabled).
+	FillBits int
+	WBBits   int
+	// DRAMReads/DRAMWrites are backing accesses triggered.
+	DRAMReads  int
+	DRAMWrites int
+	// Latency is the CABLE pipeline cost of the fill.
+	Latency core.FillLatency
+}
+
+// Chip is the functional memory-link model: it runs the full coherence
+// and CABLE synchronization protocol over an inclusive LLC/L4 pair and
+// feeds the identical off-chip transfer stream to every attached meter.
+type Chip struct {
+	cfg    ChipConfig
+	LLC    *cache.Cache
+	L4     *cache.Cache
+	Home   *core.HomeEnd
+	Remote *core.RemoteEnd
+	Store  *mem.Store
+	Meters []Meter
+
+	// CableLink quantizes CABLE payloads (nil when disabled).
+	CableLink *link.Link
+
+	cableOwners map[int]*stats.Ratio
+	cableTotal  stats.Ratio
+
+	// writeVersions drives deterministic store-data mutation.
+	writeVersions map[uint64]uint32
+
+	// schemeMeter computes Transfer bits when CABLE is disabled.
+	schemeMeter Meter
+
+	// Stats
+	Accesses  uint64
+	Fills     uint64
+	WBs       uint64
+	Upgrades  uint64
+	CompOps   uint64
+	DecompOps uint64
+	// Notices counts explicit eviction messages (zero under the
+	// silent-eviction protocol).
+	Notices uint64
+}
+
+// NewChip builds a chip over the given backing content function.
+func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
+	llc := cache.New(cache.Config{Name: "llc", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: cfg.LineSize, Policy: cfg.LLCPolicy})
+	l4 := cache.New(cache.Config{Name: "l4", SizeBytes: cfg.L4Bytes, Ways: cfg.L4Ways, LineSize: cfg.LineSize, Policy: cfg.L4Policy})
+	c := &Chip{
+		cfg: cfg, LLC: llc, L4: l4,
+		Store:         mem.NewStore(cfg.LineSize, fill),
+		cableOwners:   map[int]*stats.Ratio{},
+		writeVersions: map[uint64]uint32{},
+	}
+	if cfg.TagPointers {
+		cfg.Cable.PointerBitsOverride = 40
+		c.cfg = cfg
+	}
+	if cfg.EnableCable || cfg.Scheme == "cable" {
+		he, err := core.NewHomeEnd(cfg.Cable, l4, llc)
+		if err != nil {
+			return nil, err
+		}
+		re, err := core.NewRemoteEnd(cfg.Cable, llc)
+		if err != nil {
+			return nil, err
+		}
+		c.Home, c.Remote = he, re
+		c.CableLink = link.New(cfg.Link)
+		return c, nil
+	}
+	m, err := newSchemeMeter(cfg.Scheme, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	c.schemeMeter = m
+	return c, nil
+}
+
+// newSchemeMeter builds the single-scheme compressor used by the timing
+// simulator when CABLE is not the scheme under test.
+func newSchemeMeter(scheme string, cfg link.Config) (Meter, error) {
+	switch scheme {
+	case "", "none":
+		return NewRawMeter(cfg), nil
+	case "gzip":
+		return NewStreamMeter("gzip", 32<<10, cfg), nil
+	default:
+		e, err := compress.NewEngine(scheme)
+		if err != nil {
+			return nil, err
+		}
+		return NewEngineMeter(e, cfg), nil
+	}
+}
+
+// ResetStats zeroes every accumulated counter — event counts, meter
+// ratios and link accounting — without touching cache or CABLE
+// structure state. The timing simulator calls it after functional
+// warm-up so measurements exclude compulsory cold misses, as the
+// paper's 100M-instruction warm-up does.
+func (c *Chip) ResetStats() {
+	c.Accesses, c.Fills, c.WBs, c.Upgrades = 0, 0, 0, 0
+	c.CompOps, c.DecompOps, c.Notices = 0, 0, 0
+	c.cableOwners = map[int]*stats.Ratio{}
+	c.cableTotal = stats.Ratio{}
+	c.LLC.Stats = cache.Stats{}
+	c.L4.Stats = cache.Stats{}
+	c.Store.Reads, c.Store.Writes = 0, 0
+	if c.CableLink != nil {
+		*c.CableLink = *link.New(c.cfg.Link)
+	}
+	if c.schemeMeter != nil {
+		c.schemeMeter.ResetCounters()
+	}
+	for _, m := range c.Meters {
+		m.ResetCounters()
+	}
+}
+
+// CableRatio returns CABLE's accumulated ratio for one owner.
+func (c *Chip) CableRatio(owner int) stats.Ratio {
+	if r := c.cableOwners[owner]; r != nil {
+		return *r
+	}
+	return stats.Ratio{}
+}
+
+// CableTotal returns CABLE's aggregate ratio.
+func (c *Chip) CableTotal() stats.Ratio { return c.cableTotal }
+
+// SchemeRatio returns the ratio of whatever scheme drives this chip's
+// Transfer bits (CABLE or the configured baseline).
+func (c *Chip) SchemeRatio() stats.Ratio {
+	if c.Home != nil {
+		return c.cableTotal
+	}
+	return c.schemeMeter.Total()
+}
+
+// WireLink returns the quantizing link of the active scheme.
+func (c *Chip) WireLink() *link.Link {
+	if c.Home != nil {
+		return c.CableLink
+	}
+	return c.schemeMeter.Link()
+}
+
+func (c *Chip) cableAccount(owner, sourceBits int, wire int) {
+	if r := c.cableOwners[owner]; r != nil {
+		r.Add(sourceBits, wire)
+	} else {
+		c.cableOwners[owner] = &stats.Ratio{SourceBits: uint64(sourceBits), WireBits: uint64(wire)}
+	}
+	c.cableTotal.Add(sourceBits, wire)
+}
+
+// mutate applies a deterministic store-data edit for a write to addr.
+// Stores write small program-like values (counters, flags), so dirty
+// lines get somewhat harder to compress without degenerating to random
+// noise.
+func (c *Chip) mutate(data []byte, addr uint64) {
+	v := c.writeVersions[addr]
+	c.writeVersions[addr] = v + 1
+	word := int(addr^uint64(v)) % (len(data) / 4)
+	x := uint32((addr*2654435761+uint64(v)*40503)&0x3FF | 1)
+	data[word*4] = byte(x)
+	data[word*4+1] = byte(x >> 8)
+	data[word*4+2] = 0
+	data[word*4+3] = 0
+}
+
+// evictLLC processes an LLC eviction: dirty data is write-back
+// compressed over the link; either way the eviction is scrubbed from
+// both ends' structures.
+func (c *Chip) evictLLC(ev cache.Eviction, owner int, t *Transfer) {
+	if ev.State == cache.Modified {
+		c.WBs++
+		t.WB = true
+		lineBits := len(ev.Data) * 8
+		if c.Remote != nil {
+			p := c.Remote.EncodeWriteback(ev.Data)
+			c.CompOps++
+			got, err := c.Home.DecodeWriteback(p)
+			c.DecompOps++
+			if err != nil {
+				panic(fmt.Sprintf("sim: writeback decode %#x: %v", ev.LineAddr, err))
+			}
+			if c.cfg.Verify && !bytes.Equal(got, ev.Data) {
+				panic(fmt.Sprintf("sim: writeback corrupted for line %#x", ev.LineAddr))
+			}
+			enc := p.Marshal(c.LLC.IndexBits(), c.LLC.WayBits())
+			wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Remote.RemoteLIDBits()))
+			t.WBBits = wire
+			c.cableAccount(owner, lineBits, wire)
+		} else {
+			c.schemeMeter.OnWriteback(ev.Data, owner)
+			t.WBBits = c.schemeMeter.LastWire()
+		}
+		for _, m := range c.Meters {
+			m.OnWriteback(ev.Data, owner)
+		}
+		// The home (L4) copy absorbs the dirty data.
+		if l4l, _, ok := c.L4.Probe(ev.LineAddr); ok {
+			copy(l4l.Data, ev.Data)
+			l4l.State = cache.Modified
+		} else {
+			panic(fmt.Sprintf("sim: inclusive violation: LLC victim %#x absent from L4", ev.LineAddr))
+		}
+	}
+	if c.Remote != nil {
+		if c.cfg.SilentEvictions {
+			c.Remote.OnSilentEviction(ev.ID, ev.Data)
+		} else {
+			seq := c.Remote.OnEviction(ev.ID, ev.Data)
+			c.Home.OnRemoteEviction(ev.ID, seq)
+			c.Notices++
+		}
+	}
+}
+
+// silentDisplace evicts a fill's victim under the silent protocol: it
+// runs after the fill is decoded (the victim may have served as a
+// reference) and immediately before the install that displaces it.
+func (c *Chip) silentDisplace(victim uint64, haveVictim bool, owner int, t *Transfer) {
+	if !c.cfg.SilentEvictions || !haveVictim {
+		return
+	}
+	if ev, ok := c.LLC.Invalidate(victim); ok {
+		c.evictLLC(ev, owner, t)
+	}
+}
+
+// ensureL4 installs addr in the L4, evicting (and back-invalidating)
+// as needed. It reports DRAM traffic into t.
+func (c *Chip) ensureL4(addr uint64, owner int, t *Transfer) {
+	if _, _, ok := c.L4.Probe(addr); ok {
+		t.L4Hit = true
+		return
+	}
+	idx := c.L4.IndexOf(addr)
+	way := c.L4.VictimWay(idx)
+	if victim, ok := c.L4.LineAddrOf(cache.LineID{Index: idx, Way: way}); ok {
+		// Inclusive: force the LLC copy out first.
+		if ev, hit := c.LLC.Invalidate(victim); hit {
+			c.evictLLC(ev, owner, t)
+		}
+		if c.Home != nil {
+			c.Home.OnHomeEviction(victim)
+		}
+		vl, _, _ := c.L4.Probe(victim)
+		if vl.State == cache.Modified {
+			c.Store.Write(victim, vl.Data)
+			t.DRAMWrites++
+		}
+	}
+	data := c.Store.Read(addr)
+	t.DRAMReads++
+	c.L4.InsertAt(addr, data, cache.Shared, way)
+}
+
+// Access runs one LLC-level reference through the hierarchy.
+func (c *Chip) Access(a workload.Access, owner int) Transfer {
+	c.Accesses++
+	var t Transfer
+	if line, id, ok := c.LLC.Access(a.LineAddr); ok {
+		t.LLCHit = true
+		if a.Write {
+			if line.State == cache.Shared {
+				t.Upgrade = true
+				c.Upgrades++
+				if c.Remote != nil {
+					c.Remote.OnUpgrade(id, line.Data)
+					c.Home.OnUpgrade(a.LineAddr)
+				}
+				line.State = cache.Modified
+			}
+			c.mutate(line.Data, a.LineAddr)
+		}
+		return t
+	}
+
+	c.ensureL4(a.LineAddr, owner, &t)
+
+	idx := c.LLC.IndexOf(a.LineAddr)
+	way := c.LLC.VictimWay(idx)
+	victim, haveVictim := c.LLC.LineAddrOf(cache.LineID{Index: idx, Way: way})
+	if haveVictim && !c.cfg.SilentEvictions {
+		ev, _ := c.LLC.Invalidate(victim)
+		c.evictLLC(ev, owner, &t)
+	}
+	// Under silent evictions the victim stays resident until the fill
+	// installs — it may even serve as a reference for this very fill;
+	// the home cleans its structures from the replacement-way info.
+
+	state := cache.Shared
+	if a.Write {
+		state = cache.Modified
+	}
+	l4Line, _, _ := c.L4.Probe(a.LineAddr)
+	want := l4Line.Data
+	lineBits := len(want) * 8
+	t.Fill = true
+	c.Fills++
+	if c.Home != nil {
+		p, lat, err := c.Home.EncodeFill(a.LineAddr, state, way)
+		if err != nil {
+			panic(fmt.Sprintf("sim: encode fill %#x: %v", a.LineAddr, err))
+		}
+		c.CompOps++
+		t.Latency = lat
+		data, err := c.Remote.DecodeFill(p)
+		c.DecompOps++
+		if err != nil {
+			panic(fmt.Sprintf("sim: decode fill %#x: %v", a.LineAddr, err))
+		}
+		if c.cfg.Verify && !bytes.Equal(data, want) {
+			panic(fmt.Sprintf("sim: fill corrupted for line %#x", a.LineAddr))
+		}
+		enc := p.Marshal(c.LLC.IndexBits(), c.LLC.WayBits())
+		wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Home.RemoteLIDBits()))
+		t.FillBits = wire
+		c.cableAccount(owner, lineBits, wire)
+		c.silentDisplace(victim, haveVictim, owner, &t)
+		c.LLC.InsertAt(a.LineAddr, data, state, way)
+		c.Remote.OnFillInstalled(cache.LineID{Index: idx, Way: way}, data, state)
+		c.Remote.OnAck(p.AckSeq)
+	} else {
+		c.schemeMeter.OnFill(want, owner)
+		t.FillBits = c.schemeMeter.LastWire()
+		c.silentDisplace(victim, haveVictim, owner, &t)
+		c.LLC.InsertAt(a.LineAddr, want, state, way)
+	}
+	for _, m := range c.Meters {
+		m.OnFill(want, owner)
+	}
+	if a.Write {
+		l, _, _ := c.LLC.Probe(a.LineAddr)
+		c.mutate(l.Data, a.LineAddr)
+	}
+	return t
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"cable/internal/stats"
+	"cable/internal/workload"
+)
+
+// programSpacing separates co-running programs' address spaces.
+const programSpacing = uint64(1) << 32
+
+// MemLinkConfig drives the functional memory-link study (§VI-B/C): one
+// or more programs share an LLC/L4 pair, and every compression scheme
+// measures the identical off-chip transfer stream.
+type MemLinkConfig struct {
+	Chip ChipConfig
+	// Benchmarks are the co-running programs (1 for single-program
+	// studies, 4 for the multiprogram studies).
+	Benchmarks []string
+	// AccessesPerProgram bounds the simulation length.
+	AccessesPerProgram int
+	// ScaleCachesByPrograms multiplies LLC/L4 capacity by the program
+	// count, matching the paper's per-thread 1 MB LLC share.
+	ScaleCachesByPrograms bool
+	// WithMeters attaches the baseline comparison set.
+	WithMeters bool
+}
+
+// DefaultMemLinkConfig returns the Table IV single-program setup.
+func DefaultMemLinkConfig(benchmarks ...string) MemLinkConfig {
+	return MemLinkConfig{
+		Chip:                  DefaultChipConfig(),
+		Benchmarks:            benchmarks,
+		AccessesPerProgram:    60000,
+		ScaleCachesByPrograms: true,
+		WithMeters:            true,
+	}
+}
+
+// MemLinkResult carries per-scheme compression outcomes.
+type MemLinkResult struct {
+	// Total maps scheme → aggregate link compression ratio.
+	Total map[string]stats.Ratio
+	// PerProgram maps scheme → per-program ratios, index-aligned with
+	// Benchmarks.
+	PerProgram map[string][]stats.Ratio
+	// Toggles maps scheme → wire bit toggles (§VI-D).
+	Toggles map[string]uint64
+	// Chip exposes the simulated chip for energy/latency accounting.
+	Chip *Chip
+}
+
+// Ratio returns the total ratio for a scheme (1.0 for unknown schemes).
+func (r *MemLinkResult) Ratio(scheme string) float64 {
+	if t, ok := r.Total[scheme]; ok {
+		return t.Value()
+	}
+	return 1
+}
+
+// RunMemoryLink executes the functional memory-link simulation.
+func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
+	if len(cfg.Benchmarks) == 0 {
+		return nil, fmt.Errorf("sim: no benchmarks configured")
+	}
+	gens := make([]*workload.Generator, len(cfg.Benchmarks))
+	for i, name := range cfg.Benchmarks {
+		g, err := workload.New(name, i, uint64(i)*programSpacing)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	chipCfg := cfg.Chip
+	if cfg.ScaleCachesByPrograms {
+		chipCfg.LLCBytes *= len(cfg.Benchmarks)
+		chipCfg.L4Bytes *= len(cfg.Benchmarks)
+	}
+	chip, err := NewChip(chipCfg, func(addr uint64) []byte {
+		return gens[int(addr/programSpacing)].LineData(addr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WithMeters {
+		chip.Meters = DefaultMeters(chipCfg.Link)
+	}
+
+	// Fine-grained round-robin interleave: the link sees the programs'
+	// streams mixed, as a real shared memory controller would.
+	for step := 0; step < cfg.AccessesPerProgram; step++ {
+		for i, g := range gens {
+			chip.Access(g.Next(), i)
+		}
+	}
+
+	res := &MemLinkResult{
+		Total:      map[string]stats.Ratio{},
+		PerProgram: map[string][]stats.Ratio{},
+		Toggles:    map[string]uint64{},
+		Chip:       chip,
+	}
+	collect := func(name string, total stats.Ratio, per func(int) stats.Ratio, toggles uint64) {
+		res.Total[name] = total
+		rs := make([]stats.Ratio, len(gens))
+		for i := range gens {
+			rs[i] = per(i)
+		}
+		res.PerProgram[name] = rs
+		res.Toggles[name] = toggles
+	}
+	for _, m := range chip.Meters {
+		collect(m.Name(), m.Total(), m.Ratio, m.Link().Toggles)
+	}
+	if chip.Home != nil {
+		collect("cable", chip.CableTotal(), chip.CableRatio, chip.CableLink.Toggles)
+	}
+	return res, nil
+}

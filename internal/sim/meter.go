@@ -1,0 +1,170 @@
+// Package sim ties the substrates together: a functional memory-link
+// simulator (LLC + off-chip L4 + CABLE + baseline compressors measuring
+// the same traffic), a multi-chip NUMA coherence simulator, and a
+// cycle-approximate timing model for the throughput/latency studies.
+package sim
+
+import (
+	"cable/internal/compress"
+	"cable/internal/link"
+	"cable/internal/stats"
+)
+
+// Meter measures one compression scheme over the off-chip transfer
+// stream. All meters see the identical fill/write-back data that CABLE
+// compresses, so per-scheme ratios are directly comparable (Fig 11/12).
+type Meter interface {
+	Name() string
+	// OnFill accounts a home→remote data transfer by owner (program
+	// index, for the multiprogram studies).
+	OnFill(data []byte, owner int)
+	// OnWriteback accounts a remote→home dirty transfer.
+	OnWriteback(data []byte, owner int)
+	// Ratio returns the accumulated compression ratio for one owner.
+	Ratio(owner int) stats.Ratio
+	// Total returns the aggregate ratio across owners.
+	Total() stats.Ratio
+	// Link exposes the meter's quantizing link (toggles, wire bits).
+	Link() *link.Link
+	// LastWire returns the on-wire bits of the most recent transfer,
+	// which the timing simulator serializes over its channel.
+	LastWire() int
+	// ResetCounters zeroes accumulated ratios and link accounting
+	// while keeping compressor state (a gzip window survives — only
+	// the bookkeeping restarts after warm-up).
+	ResetCounters()
+}
+
+// meterBase implements the owner bookkeeping shared by meters.
+type meterBase struct {
+	name     string
+	lnk      *link.Link
+	owners   map[int]*stats.Ratio
+	total    stats.Ratio
+	lastWire int
+}
+
+func newMeterBase(name string, cfg link.Config) meterBase {
+	return meterBase{name: name, lnk: link.New(cfg), owners: map[int]*stats.Ratio{}}
+}
+
+func (m *meterBase) Name() string { return m.name }
+
+func (m *meterBase) Link() *link.Link { return m.lnk }
+
+func (m *meterBase) account(owner, sourceBits, payloadBits int, wire compress.Encoded) {
+	wireBits := m.lnk.SendWire(wire.Data, payloadBits)
+	m.lastWire = wireBits
+	if r := m.owners[owner]; r != nil {
+		r.Add(sourceBits, wireBits)
+	} else {
+		m.owners[owner] = &stats.Ratio{SourceBits: uint64(sourceBits), WireBits: uint64(wireBits)}
+	}
+	m.total.Add(sourceBits, wireBits)
+}
+
+func (m *meterBase) Ratio(owner int) stats.Ratio {
+	if r := m.owners[owner]; r != nil {
+		return *r
+	}
+	return stats.Ratio{}
+}
+
+func (m *meterBase) Total() stats.Ratio { return m.total }
+
+func (m *meterBase) LastWire() int { return m.lastWire }
+
+func (m *meterBase) ResetCounters() {
+	cfg := m.lnk.Config()
+	*m.lnk = *link.New(cfg)
+	m.owners = map[int]*stats.Ratio{}
+	m.total = stats.Ratio{}
+	m.lastWire = 0
+}
+
+// RawMeter is the uncompressed baseline: every transfer is a full line.
+type RawMeter struct{ meterBase }
+
+// NewRawMeter builds the no-compression baseline meter.
+func NewRawMeter(cfg link.Config) *RawMeter {
+	return &RawMeter{newMeterBase("none", cfg)}
+}
+
+// OnFill implements Meter.
+func (m *RawMeter) OnFill(data []byte, owner int) {
+	m.account(owner, len(data)*8, len(data)*8, compress.Encoded{Data: data, NBits: len(data) * 8})
+}
+
+// OnWriteback implements Meter.
+func (m *RawMeter) OnWriteback(data []byte, owner int) { m.OnFill(data, owner) }
+
+// EngineMeter measures a per-line engine (BDI, CPACK, CPACK128,
+// LBE256): each transfer is compressed independently. These engines are
+// self-delimiting with bounded worst-case expansion (C-Pack: 34/32 bits
+// per word), so no flag or raw fallback is transmitted — unlike CABLE,
+// whose payload carries the §III-E header.
+type EngineMeter struct {
+	meterBase
+	engine compress.Engine
+}
+
+// NewEngineMeter wraps a per-line engine.
+func NewEngineMeter(e compress.Engine, cfg link.Config) *EngineMeter {
+	return &EngineMeter{meterBase: newMeterBase(e.Name(), cfg), engine: e}
+}
+
+func (m *EngineMeter) measure(data []byte, owner int) {
+	enc := m.engine.Compress(data, nil)
+	m.account(owner, len(data)*8, enc.NBits, enc)
+}
+
+// OnFill implements Meter.
+func (m *EngineMeter) OnFill(data []byte, owner int) { m.measure(data, owner) }
+
+// OnWriteback implements Meter.
+func (m *EngineMeter) OnWriteback(data []byte, owner int) { m.measure(data, owner) }
+
+// StreamMeter measures the gzip-class streaming compressor: one
+// persistent dictionary per link direction, shared by every program on
+// the link — which is exactly how it suffers dictionary pollution in
+// the destructive multiprogram study (§VI-C).
+type StreamMeter struct {
+	meterBase
+	down *compress.LZSS // home→remote (fills)
+	up   *compress.LZSS // remote→home (write-backs)
+}
+
+// NewStreamMeter builds a gzip meter with the given window (32 KB in
+// the paper — gzip's maximum).
+func NewStreamMeter(name string, window int, cfg link.Config) *StreamMeter {
+	return &StreamMeter{
+		meterBase: newMeterBase(name, cfg),
+		down:      compress.NewLZSS(name, window),
+		up:        compress.NewLZSS(name, window),
+	}
+}
+
+// OnFill implements Meter.
+func (m *StreamMeter) OnFill(data []byte, owner int) {
+	enc := m.down.Compress(data)
+	m.account(owner, len(data)*8, enc.NBits, enc)
+}
+
+// OnWriteback implements Meter.
+func (m *StreamMeter) OnWriteback(data []byte, owner int) {
+	enc := m.up.Compress(data)
+	m.account(owner, len(data)*8, enc.NBits, enc)
+}
+
+// DefaultMeters builds the paper's comparison set (Fig 12): BDI, CPACK,
+// CPACK128, LBE256 and gzip with a 32 KB window.
+func DefaultMeters(cfg link.Config) []Meter {
+	return []Meter{
+		NewRawMeter(cfg),
+		NewEngineMeter(compress.NewBDI(), cfg),
+		NewEngineMeter(compress.NewCPack("cpack", 64), cfg),
+		NewEngineMeter(compress.NewCPack("cpack128", 128), cfg),
+		NewEngineMeter(compress.NewLBE("lbe256", 256), cfg),
+		NewStreamMeter("gzip", 32<<10, cfg),
+	}
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/core"
+	"cable/internal/link"
+	"cable/internal/mem"
+	"cable/internal/stats"
+	"cable/internal/workload"
+)
+
+// MultiChipConfig drives the coherence-link study (§V-B, Fig 13): a
+// NUMA system whose memory pages are interleaved round-robin across
+// nodes. The benchmark runs on node 0; lines homed on other nodes cross
+// a point-to-point coherence link with one CABLE pipeline per link pair.
+type MultiChipConfig struct {
+	Nodes     int // 4 in the paper, 2–8 in the NUMA-count study
+	Benchmark string
+	Accesses  int
+	// PageLines is the interleaving granularity (4 KB pages = 64
+	// lines).
+	PageLines uint64
+	// LLCBytes sizes each node's LLC (the requester's remote cache
+	// and each home node's home cache).
+	LLCBytes int
+	LLCWays  int
+	Link     link.Config
+	Cable    core.Config
+	// WithMeters attaches the baseline comparison set per link.
+	WithMeters bool
+	// PooledWMT enables the §IV-D super-WMT: all links share one
+	// capacity-managed way-map pool instead of per-link full WMTs.
+	// Write-back compression is disabled in this mode (pool evictions
+	// are invisible to the remote side, §IV-C fallback).
+	PooledWMT bool
+	// PooledWMTFactor scales pool capacity relative to the remote
+	// cache's line count (default 0.5 when pooled).
+	PooledWMTFactor float64
+}
+
+// DefaultMultiChipConfig is the paper's 4-node setup.
+func DefaultMultiChipConfig(benchmark string) MultiChipConfig {
+	cable := core.DefaultConfig()
+	// §VI-A: coherence-link hash tables are quarter-sized.
+	cable.HashSizeFactor = 0.25
+	return MultiChipConfig{
+		Nodes: 4, Benchmark: benchmark, Accesses: 60000,
+		PageLines: 64,
+		LLCBytes:  1 << 20, LLCWays: 8,
+		Link:       link.DefaultConfig(),
+		Cable:      cable,
+		WithMeters: true,
+	}
+}
+
+// coherenceLink is one node-pair CABLE pipeline: requester node 0's LLC
+// is the remote cache; home node h's LLC is the home cache.
+type coherenceLink struct {
+	homeLLC *cache.Cache
+	he      *core.HomeEnd
+	re      *core.RemoteEnd
+	lnk     *link.Link
+	ratio   stats.Ratio
+	meters  []Meter
+}
+
+// MultiChipResult reports the coherence-link compression outcomes.
+type MultiChipResult struct {
+	// Total maps scheme → aggregate ratio across all links.
+	Total map[string]stats.Ratio
+	// RemoteFills / DirtyWBs count cross-chip transfers.
+	RemoteFills, DirtyWBs uint64
+	// LocalAccesses never crossed a link.
+	LocalAccesses uint64
+}
+
+// Ratio returns a scheme's aggregate ratio.
+func (r *MultiChipResult) Ratio(scheme string) float64 {
+	if t, ok := r.Total[scheme]; ok {
+		return t.Value()
+	}
+	return 1
+}
+
+// RunMultiChip executes the functional 4-chip coherence simulation.
+func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("sim: multichip needs ≥2 nodes, got %d", cfg.Nodes)
+	}
+	gen, err := workload.New(cfg.Benchmark, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	store := mem.NewStore(64, gen.LineData)
+	home := func(addr uint64) int { return int((addr / cfg.PageLines) % uint64(cfg.Nodes)) }
+
+	reqLLC := cache.New(cache.Config{Name: "llc0", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
+	cableCfg := cfg.Cable
+	var pool *core.SuperWMT
+	if cfg.PooledWMT {
+		cableCfg.WritebackCompression = false
+		factor := cfg.PooledWMTFactor
+		if factor <= 0 {
+			factor = 0.5
+		}
+		geom := cache.New(cache.Config{Name: "geom", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
+		pool = core.NewSuperWMT(int(float64(geom.NumLines())*factor), 4, geom, reqLLC)
+	}
+	links := make([]*coherenceLink, cfg.Nodes) // index by home node; [0] unused
+	for h := 1; h < cfg.Nodes; h++ {
+		homeLLC := cache.New(cache.Config{Name: fmt.Sprintf("llc%d", h), SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
+		var wm core.WayMap
+		if pool != nil {
+			wm = pool.View(h)
+		}
+		he, err := core.NewHomeEndWithWayMap(cableCfg, homeLLC, reqLLC, wm)
+		if err != nil {
+			return nil, err
+		}
+		re, err := core.NewRemoteEnd(cableCfg, reqLLC)
+		if err != nil {
+			return nil, err
+		}
+		cl := &coherenceLink{homeLLC: homeLLC, he: he, re: re, lnk: link.New(cfg.Link)}
+		if cfg.WithMeters {
+			cl.meters = DefaultMeters(cfg.Link)
+		}
+		links[h] = cl
+	}
+	res := &MultiChipResult{Total: map[string]stats.Ratio{}}
+	writeVersions := map[uint64]uint32{}
+	mutate := func(data []byte, addr uint64) {
+		v := writeVersions[addr]
+		writeVersions[addr] = v + 1
+		word := int(addr^uint64(v)) % (len(data) / 4)
+		x := uint32((addr*2654435761+uint64(v)*40503)&0x3FF | 1)
+		data[word*4] = byte(x)
+		data[word*4+1] = byte(x >> 8)
+		data[word*4+2] = 0
+		data[word*4+3] = 0
+	}
+
+	// evictReq processes a requester-LLC eviction, routing the
+	// notices (and a dirty write-back) to the owning home node.
+	evictReq := func(ev cache.Eviction) {
+		h := home(ev.LineAddr)
+		if h == 0 {
+			if ev.State == cache.Modified {
+				store.Write(ev.LineAddr, ev.Data)
+			}
+			return
+		}
+		cl := links[h]
+		if ev.State == cache.Modified {
+			res.DirtyWBs++
+			p := cl.re.EncodeWriteback(ev.Data)
+			got, err := cl.he.DecodeWriteback(p)
+			if err != nil {
+				panic(fmt.Sprintf("sim: multichip WB decode %#x: %v", ev.LineAddr, err))
+			}
+			if !bytes.Equal(got, ev.Data) {
+				panic(fmt.Sprintf("sim: multichip WB corrupted %#x", ev.LineAddr))
+			}
+			enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+			cl.ratio.Add(len(ev.Data)*8, cl.lnk.SendWire(enc.Data, enc.NBits))
+			for _, m := range cl.meters {
+				m.OnWriteback(ev.Data, 0)
+			}
+			if hl, _, ok := cl.homeLLC.Probe(ev.LineAddr); ok {
+				copy(hl.Data, got)
+				hl.State = cache.Modified
+			} else {
+				panic(fmt.Sprintf("sim: multichip inclusivity violated for %#x", ev.LineAddr))
+			}
+		}
+		seq := cl.re.OnEviction(ev.ID, ev.Data)
+		cl.he.OnRemoteEviction(ev.ID, seq)
+	}
+
+	// ensureHomeLLC installs addr in its home node's LLC, handling the
+	// inclusive back-invalidation of the requester's copy.
+	ensureHomeLLC := func(cl *coherenceLink, addr uint64) {
+		if _, _, ok := cl.homeLLC.Probe(addr); ok {
+			return
+		}
+		idx := cl.homeLLC.IndexOf(addr)
+		way := cl.homeLLC.VictimWay(idx)
+		if victim, ok := cl.homeLLC.LineAddrOf(cache.LineID{Index: idx, Way: way}); ok {
+			if ev, hit := reqLLC.Invalidate(victim); hit {
+				evictReq(ev)
+			}
+			cl.he.OnHomeEviction(victim)
+			if vl, _, _ := cl.homeLLC.Probe(victim); vl.State == cache.Modified {
+				store.Write(victim, vl.Data)
+			}
+		}
+		cl.homeLLC.InsertAt(addr, store.Read(addr), cache.Shared, way)
+	}
+
+	for i := 0; i < cfg.Accesses; i++ {
+		a := gen.Next()
+		h := home(a.LineAddr)
+		if line, id, ok := reqLLC.Access(a.LineAddr); ok {
+			if a.Write && line.State == cache.Shared {
+				if h != 0 {
+					links[h].re.OnUpgrade(id, line.Data)
+					links[h].he.OnUpgrade(a.LineAddr)
+				}
+				line.State = cache.Modified
+			}
+			if a.Write {
+				mutate(line.Data, a.LineAddr)
+			}
+			continue
+		}
+		// Requester miss: evict the victim first.
+		idx := reqLLC.IndexOf(a.LineAddr)
+		way := reqLLC.VictimWay(idx)
+		if victim, ok := reqLLC.LineAddrOf(cache.LineID{Index: idx, Way: way}); ok {
+			ev, _ := reqLLC.Invalidate(victim)
+			evictReq(ev)
+		}
+		state := cache.Shared
+		if a.Write {
+			state = cache.Modified
+		}
+		if h == 0 {
+			res.LocalAccesses++
+			reqLLC.InsertAt(a.LineAddr, store.Read(a.LineAddr), state, way)
+			if a.Write {
+				l, _, _ := reqLLC.Probe(a.LineAddr)
+				mutate(l.Data, a.LineAddr)
+			}
+			continue
+		}
+		cl := links[h]
+		ensureHomeLLC(cl, a.LineAddr)
+		res.RemoteFills++
+		p, _, err := cl.he.EncodeFill(a.LineAddr, state, way)
+		if err != nil {
+			panic(fmt.Sprintf("sim: multichip fill %#x: %v", a.LineAddr, err))
+		}
+		data, err := cl.re.DecodeFill(p)
+		if err != nil {
+			panic(fmt.Sprintf("sim: multichip decode %#x: %v", a.LineAddr, err))
+		}
+		want, _, _ := cl.homeLLC.Probe(a.LineAddr)
+		if !bytes.Equal(data, want.Data) {
+			panic(fmt.Sprintf("sim: multichip fill corrupted %#x", a.LineAddr))
+		}
+		enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+		cl.ratio.Add(len(data)*8, cl.lnk.SendWire(enc.Data, enc.NBits))
+		for _, m := range cl.meters {
+			m.OnFill(want.Data, 0)
+		}
+		reqLLC.InsertAt(a.LineAddr, data, state, way)
+		cl.re.OnFillInstalled(cache.LineID{Index: idx, Way: way}, data, state)
+		cl.re.OnAck(p.AckSeq)
+		if a.Write {
+			l, _, _ := reqLLC.Probe(a.LineAddr)
+			mutate(l.Data, a.LineAddr)
+		}
+	}
+
+	var cableTotal stats.Ratio
+	meterTotals := map[string]*stats.Ratio{}
+	for h := 1; h < cfg.Nodes; h++ {
+		cableTotal.Merge(links[h].ratio)
+		for _, m := range links[h].meters {
+			if t, ok := meterTotals[m.Name()]; ok {
+				tt := m.Total()
+				t.Merge(tt)
+			} else {
+				tt := m.Total()
+				meterTotals[m.Name()] = &tt
+			}
+		}
+	}
+	res.Total["cable"] = cableTotal
+	for name, t := range meterTotals {
+		res.Total[name] = *t
+	}
+	return res, nil
+}

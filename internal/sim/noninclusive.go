@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/core"
+	"cable/internal/link"
+	"cable/internal/mem"
+	"cable/internal/stats"
+	"cable/internal/workload"
+)
+
+// NonInclusiveConfig drives the §IV-C extension: a Haswell-EP-style
+// Home Agent that is *not* inclusive of the remote Caching Agent. The
+// home keeps a directory for coherence (it always knows what the remote
+// holds) plus a non-inclusive data cache of recently-serviced lines;
+// fills of lines it does not cache are forwarded straight from memory.
+// CABLE compresses opportunistically: references must be lines the home
+// still caches *and* the remote still holds; write-back compression is
+// disabled (remote lines are not guaranteed to exist at the home).
+type NonInclusiveConfig struct {
+	Benchmark string
+	Accesses  int
+	// RemoteBytes sizes the Caching Agent's LLC.
+	RemoteBytes int
+	RemoteWays  int
+	// HomeBytes sizes the Home Agent's non-inclusive data cache;
+	// smaller than the remote is allowed logically, but the WMT
+	// geometry requires ≥ remote sets, as in the paper's systems.
+	HomeBytes int
+	HomeWays  int
+	Link      link.Config
+	Cable     core.Config
+}
+
+// DefaultNonInclusiveConfig mirrors the memory-link setup with a
+// same-size Home Agent cache.
+func DefaultNonInclusiveConfig(benchmark string) NonInclusiveConfig {
+	cable := core.DefaultConfig()
+	cable.WritebackCompression = false // §IV-C
+	return NonInclusiveConfig{
+		Benchmark:   benchmark,
+		Accesses:    60000,
+		RemoteBytes: 1 << 20, RemoteWays: 8,
+		HomeBytes: 2 << 20, HomeWays: 16,
+		Link:  link.DefaultConfig(),
+		Cable: cable,
+	}
+}
+
+// NonInclusiveResult reports the opportunistic-compression outcome.
+type NonInclusiveResult struct {
+	Cable stats.Ratio
+	// ForwardedFills bypassed the home cache (no reference insert).
+	ForwardedFills uint64
+	// CachedFills were serviced from (or installed into) the home
+	// cache and became reference candidates.
+	CachedFills uint64
+	WBs         uint64
+	HomeEvicts  uint64
+}
+
+// RunNonInclusive executes the non-inclusive simulation.
+func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
+	gen, err := workload.New(cfg.Benchmark, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	store := mem.NewStore(64, gen.LineData)
+	remote := cache.New(cache.Config{Name: "ca", SizeBytes: cfg.RemoteBytes, Ways: cfg.RemoteWays, LineSize: 64})
+	home := cache.New(cache.Config{Name: "ha", SizeBytes: cfg.HomeBytes, Ways: cfg.HomeWays, LineSize: 64})
+	he, err := core.NewHomeEnd(cfg.Cable, home, remote)
+	if err != nil {
+		return nil, err
+	}
+	re, err := core.NewRemoteEnd(cfg.Cable, remote)
+	if err != nil {
+		return nil, err
+	}
+	lnk := link.New(cfg.Link)
+	res := &NonInclusiveResult{}
+	writeVersions := map[uint64]uint32{}
+	mutate := func(data []byte, addr uint64) {
+		v := writeVersions[addr]
+		writeVersions[addr] = v + 1
+		word := int(addr^uint64(v)) % (len(data) / 4)
+		x := uint32((addr*2654435761+uint64(v)*40503)&0x3FF | 1)
+		data[word*4] = byte(x)
+		data[word*4+1] = byte(x >> 8)
+		data[word*4+2] = 0
+		data[word*4+3] = 0
+	}
+
+	// installHome caches a line at the Home Agent, evicting LRU
+	// victims WITHOUT back-invalidating the remote — the defining
+	// non-inclusive behavior. Evicted home lines just stop serving as
+	// references.
+	installHome := func(addr uint64, data []byte) {
+		idx := home.IndexOf(addr)
+		way := home.VictimWay(idx)
+		if victim, ok := home.LineAddrOf(cache.LineID{Index: idx, Way: way}); ok {
+			he.OnHomeEviction(victim)
+			res.HomeEvicts++
+			if vl, _, _ := home.Probe(victim); vl.State == cache.Modified {
+				store.Write(victim, vl.Data)
+			}
+		}
+		home.InsertAt(addr, data, cache.Shared, way)
+	}
+
+	for i := 0; i < cfg.Accesses; i++ {
+		a := gen.Next()
+		if line, id, ok := remote.Access(a.LineAddr); ok {
+			if a.Write {
+				if line.State == cache.Shared {
+					re.OnUpgrade(id, line.Data)
+					he.OnUpgrade(a.LineAddr)
+					line.State = cache.Modified
+				}
+				mutate(line.Data, a.LineAddr)
+			}
+			continue
+		}
+		// Remote miss: evict the victim; dirty data goes home
+		// uncompressed-by-references (standalone only, §IV-C).
+		idx := remote.IndexOf(a.LineAddr)
+		way := remote.VictimWay(idx)
+		if victim, ok := remote.LineAddrOf(cache.LineID{Index: idx, Way: way}); ok {
+			ev, _ := remote.Invalidate(victim)
+			if ev.State == cache.Modified {
+				res.WBs++
+				p := re.EncodeWriteback(ev.Data)
+				if len(p.Refs) != 0 {
+					panic("sim: non-inclusive WB used references")
+				}
+				got, err := he.DecodeWriteback(p)
+				if err != nil {
+					panic(fmt.Sprintf("sim: non-inclusive WB decode: %v", err))
+				}
+				enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+				res.Cable.Add(len(ev.Data)*8, lnk.SendWire(enc.Data, enc.NBits))
+				// The home may or may not cache the WB; it caches.
+				if hl, _, ok := home.Probe(ev.LineAddr); ok {
+					copy(hl.Data, got)
+					hl.State = cache.Modified
+				} else {
+					store.Write(ev.LineAddr, got)
+				}
+			}
+			seq := re.OnEviction(ev.ID, ev.Data)
+			he.OnRemoteEviction(ev.ID, seq)
+		}
+		state := cache.Shared
+		if a.Write {
+			state = cache.Modified
+		}
+		// Service the fill: from the home cache if present, else from
+		// memory (forward). Forwarded clean fills are also installed
+		// into the home cache — a recently-used-lines policy — which
+		// is what makes future references possible.
+		var data []byte
+		if hl, _, ok := home.Probe(a.LineAddr); ok {
+			data = hl.Data
+			res.CachedFills++
+		} else {
+			data = store.Read(a.LineAddr)
+			res.ForwardedFills++
+			installHome(a.LineAddr, data)
+		}
+		p, _, err := he.EncodeFillData(a.LineAddr, data, state, way)
+		if err != nil {
+			panic(fmt.Sprintf("sim: non-inclusive fill: %v", err))
+		}
+		got, err := re.DecodeFill(p)
+		if err != nil {
+			panic(fmt.Sprintf("sim: non-inclusive decode %#x: %v", a.LineAddr, err))
+		}
+		if !bytes.Equal(got, data) {
+			panic(fmt.Sprintf("sim: non-inclusive fill corrupted %#x", a.LineAddr))
+		}
+		enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+		res.Cable.Add(len(data)*8, lnk.SendWire(enc.Data, enc.NBits))
+		remote.InsertAt(a.LineAddr, got, state, way)
+		re.OnFillInstalled(cache.LineID{Index: idx, Way: way}, got, state)
+		re.OnAck(p.AckSeq)
+		if a.Write {
+			l, _, _ := remote.Probe(a.LineAddr)
+			mutate(l.Data, a.LineAddr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+func quickNonInclusive(bench string) NonInclusiveConfig {
+	cfg := DefaultNonInclusiveConfig(bench)
+	cfg.Accesses = 20000
+	cfg.RemoteBytes = 128 << 10
+	cfg.HomeBytes = 256 << 10
+	return cfg
+}
+
+func TestNonInclusiveRuns(t *testing.T) {
+	res, err := RunNonInclusive(quickNonInclusive("dealII"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForwardedFills == 0 || res.CachedFills == 0 {
+		t.Fatalf("fill paths unexercised: forwarded=%d cached=%d",
+			res.ForwardedFills, res.CachedFills)
+	}
+	if res.HomeEvicts == 0 {
+		t.Fatal("home agent never evicted — non-inclusive path untested")
+	}
+	if res.WBs == 0 {
+		t.Fatal("no write-backs")
+	}
+	if r := res.Cable.Value(); r <= 1.2 {
+		t.Fatalf("opportunistic compression ratio %.2f too low", r)
+	}
+	t.Logf("non-inclusive: ratio %.2f (forwarded %d, cached %d, home evicts %d)",
+		res.Cable.Value(), res.ForwardedFills, res.CachedFills, res.HomeEvicts)
+}
+
+func TestNonInclusiveVsInclusive(t *testing.T) {
+	// Opportunistic compression should land below the inclusive
+	// configuration (references vanish on home evictions, WBs are
+	// reference-free) but remain well above 1x.
+	ni, err := RunNonInclusive(quickNonInclusive("dealII"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incl, err := RunMemoryLink(smallMemLink("dealII"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Cable.Value() > incl.Ratio("cable")*1.15 {
+		t.Fatalf("non-inclusive %.2f should not beat inclusive %.2f",
+			ni.Cable.Value(), incl.Ratio("cable"))
+	}
+	t.Logf("cable ratio: inclusive %.2f, non-inclusive %.2f",
+		incl.Ratio("cable"), ni.Cable.Value())
+}
+
+func TestNonInclusiveRejectsUnknownBenchmark(t *testing.T) {
+	cfg := quickNonInclusive("nope")
+	if _, err := RunNonInclusive(cfg); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

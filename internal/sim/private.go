@@ -1,0 +1,60 @@
+package sim
+
+import "cable/internal/cache"
+
+// PrivateConfig sizes the per-core private levels of Table IV: a 32 KB
+// 4-way single-cycle L1 and a 128 KB 8-way 4-cycle L2.
+type PrivateConfig struct {
+	L1Bytes, L1Ways, L1Cycles int
+	L2Bytes, L2Ways, L2Cycles int
+	LineSize                  int
+}
+
+// DefaultPrivateConfig returns the Table IV private hierarchy.
+func DefaultPrivateConfig() PrivateConfig {
+	return PrivateConfig{
+		L1Bytes: 32 << 10, L1Ways: 4, L1Cycles: 1,
+		L2Bytes: 128 << 10, L2Ways: 8, L2Cycles: 4,
+		LineSize: 64,
+	}
+}
+
+// privateHier is one thread's private L1/L2 filter in the timing
+// simulator. It tracks residency only — line data lives in the shared
+// hierarchy — and models write-through private caches: stores always
+// reach the LLC (keeping CABLE's upgrade/synchronization exact), while
+// read hits are absorbed at L1/L2 cost.
+type privateHier struct {
+	l1, l2 *cache.Cache
+	filler []byte
+
+	// Stats for the Table V energy model.
+	L1Accesses uint64
+	L2Accesses uint64
+}
+
+func newPrivateHier(cfg PrivateConfig) *privateHier {
+	return &privateHier{
+		l1:     cache.New(cache.Config{Name: "l1", SizeBytes: cfg.L1Bytes, Ways: cfg.L1Ways, LineSize: cfg.LineSize}),
+		l2:     cache.New(cache.Config{Name: "l2", SizeBytes: cfg.L2Bytes, Ways: cfg.L2Ways, LineSize: cfg.LineSize}),
+		filler: make([]byte, cfg.LineSize),
+	}
+}
+
+// lookup probes L1 then L2, installing on hit promotion. It returns
+// which level hit (1, 2) or 0 for a miss; misses are installed in both
+// levels (allocate on fill).
+func (p *privateHier) lookup(lineAddr uint64) int {
+	p.L1Accesses++
+	if _, _, ok := p.l1.Access(lineAddr); ok {
+		return 1
+	}
+	p.L2Accesses++
+	if _, _, ok := p.l2.Access(lineAddr); ok {
+		p.l1.Insert(lineAddr, p.filler, cache.Shared)
+		return 2
+	}
+	p.l1.Insert(lineAddr, p.filler, cache.Shared)
+	p.l2.Insert(lineAddr, p.filler, cache.Shared)
+	return 0
+}

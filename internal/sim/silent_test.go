@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"cable/internal/cache"
+)
+
+// TestSilentEvictionsCorrect runs the full protocol with §IV-B silent
+// evictions: no clean-eviction notices, displacement tracked purely via
+// replacement-way info. Verify stays on, so any decode divergence
+// panics.
+func TestSilentEvictionsCorrect(t *testing.T) {
+	cfg := smallMemLink("omnetpp")
+	cfg.Chip.SilentEvictions = true
+	res, err := RunMemoryLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := res.Chip
+	if chip.Fills == 0 || chip.WBs == 0 {
+		t.Fatalf("protocol unexercised: fills=%d wbs=%d", chip.Fills, chip.WBs)
+	}
+	if chip.Notices != 0 {
+		t.Fatalf("silent mode sent %d eviction notices", chip.Notices)
+	}
+	if chip.Remote.EvictionBuffer().Len() != 0 {
+		t.Fatalf("silent mode buffered %d evictions", chip.Remote.EvictionBuffer().Len())
+	}
+	// Inclusivity must still hold.
+	chip.LLC.ForEach(func(addr uint64, _ cache.LineID, _ *cache.Line) {
+		if _, _, ok := chip.L4.Probe(addr); !ok {
+			t.Fatalf("LLC line %#x missing from L4 under silent evictions", addr)
+		}
+	})
+}
+
+// TestSilentVsExplicitEquivalentRatios: the two protocols should
+// compress nearly identically — silent mode may do marginally better
+// because a fill can reference its own victim.
+func TestSilentVsExplicitEquivalentRatios(t *testing.T) {
+	explicit, err := RunMemoryLink(smallMemLink("dealII"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := smallMemLink("dealII")
+	scfg.Chip.SilentEvictions = true
+	silent, err := RunMemoryLink(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, s := explicit.Ratio("cable"), silent.Ratio("cable")
+	if s < e*0.95 {
+		t.Fatalf("silent ratio %.3f much worse than explicit %.3f", s, e)
+	}
+	if explicit.Chip.Notices == 0 {
+		t.Fatal("explicit mode sent no notices")
+	}
+	t.Logf("cable ratio: explicit %.3f (%d notices), silent %.3f (0 notices)",
+		e, explicit.Chip.Notices, s)
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+)
+
+func quickTiming(scheme, bench string, totalTh int) TimingConfig {
+	cfg := DefaultTimingConfig(scheme, bench)
+	cfg.Threads = 4
+	cfg.TotalTh = totalTh
+	cfg.InstrPerTh = 300_000
+	cfg.LLCPerThread = 64 << 10
+	cfg.Verify = true
+	return cfg
+}
+
+func TestTimingBaselineRuns(t *testing.T) {
+	res, err := RunTiming(quickTiming("none", "mcf", 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPCPerThread <= 0 || res.IPCPerThread > 1 {
+		t.Fatalf("IPC = %v, want in (0,1] for an in-order core", res.IPCPerThread)
+	}
+	if res.Seconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if res.DRAMAccesses == 0 {
+		t.Fatal("no DRAM traffic for mcf")
+	}
+}
+
+func TestTimingCompressionHelpsWhenOversubscribed(t *testing.T) {
+	// Fig 14a: at 2048 threads a memory-bound workload is link-bound;
+	// CABLE's bandwidth amplification must raise throughput a lot.
+	base, err := RunTiming(quickTiming("none", "mcf", 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cable, err := RunTiming(quickTiming("cable", "mcf", 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := cable.Throughput / base.Throughput
+	if speedup < 1.5 {
+		t.Fatalf("cable speedup %.2f at 2048 threads, want ≥1.5 (paper: large gains)", speedup)
+	}
+	if base.LinkUtil < 0.5 {
+		t.Fatalf("baseline link utilization %.2f — not oversubscribed", base.LinkUtil)
+	}
+	t.Logf("mcf @2048: base IPC %.4f util %.2f; cable IPC %.4f ratio %.1f speedup %.2f",
+		base.IPCPerThread, base.LinkUtil, cable.IPCPerThread, cable.Ratio, speedup)
+}
+
+func TestTimingComputeBoundUnaffected(t *testing.T) {
+	// Fig 14a: compute-intensive workloads (povray) gain little.
+	base, err := RunTiming(quickTiming("none", "povray", 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cable, err := RunTiming(quickTiming("cable", "povray", 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := cable.Throughput / base.Throughput
+	if speedup > 1.5 {
+		t.Fatalf("povray speedup %.2f — compute-bound workload should be flat", speedup)
+	}
+}
+
+func TestTimingLatencyOverheadSingleThread(t *testing.T) {
+	// Fig 17: with ample bandwidth (few threads), compression only
+	// adds latency; CABLE's 48-cycle pipeline costs a few percent and
+	// more than CPACK's 8/8.
+	mk := func(scheme string) float64 {
+		cfg := quickTiming(scheme, "omnetpp", 16)
+		cfg.Threads = 1
+		res, err := RunTiming(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPCPerThread
+	}
+	base := mk("none")
+	cpack := mk("cpack")
+	cable := mk("cable")
+	if cable >= base {
+		t.Fatalf("cable IPC %.4f should be below uncompressed %.4f", cable, base)
+	}
+	lossCable := 1 - cable/base
+	lossCpack := 1 - cpack/base
+	if lossCable <= lossCpack {
+		t.Fatalf("cable loss %.3f should exceed cpack loss %.3f", lossCable, lossCpack)
+	}
+	if lossCable > 0.25 {
+		t.Fatalf("cable single-thread loss %.3f too large (paper: ≈5%%)", lossCable)
+	}
+	t.Logf("single-thread loss: cpack %.3f cable %.3f", lossCpack, lossCable)
+}
+
+func TestTimingOnOffControlRecoversLatency(t *testing.T) {
+	// §VI-D: with on/off control, single-thread degradation is
+	// effectively nullified when the link is underutilized.
+	cfg := quickTiming("cable", "omnetpp", 16)
+	cfg.Threads = 1
+	cfg.SampleWindowSec = 10e-6 // scaled runs simulate ≪1ms
+	plain, err := RunTiming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OnOff = true
+	adaptive, err := RunTiming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.OffWindows == 0 {
+		t.Fatal("on/off control never disabled compression on an idle link")
+	}
+	if adaptive.IPCPerThread < plain.IPCPerThread {
+		t.Fatalf("adaptive IPC %.4f below always-on %.4f", adaptive.IPCPerThread, plain.IPCPerThread)
+	}
+}
+
+func TestTimingThreadSweepShape(t *testing.T) {
+	// Fig 14b: gains grow with thread count as bandwidth becomes the
+	// bottleneck.
+	speedup := func(totalTh int) float64 {
+		base, err := RunTiming(quickTiming("none", "milc", totalTh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cable, err := RunTiming(quickTiming("cable", "milc", totalTh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cable.Throughput / base.Throughput
+	}
+	low := speedup(64)
+	high := speedup(2048)
+	if high <= low {
+		t.Fatalf("speedup should grow with thread count: %.2f @64 vs %.2f @2048", low, high)
+	}
+	if low > 1.6 {
+		t.Fatalf("speedup %.2f at low thread count — link should not be the bottleneck", low)
+	}
+}
+
+func TestTimingRejectsBadConfig(t *testing.T) {
+	cfg := quickTiming("cable", "mcf", 2048)
+	cfg.Threads = 0
+	if _, err := RunTiming(cfg); err == nil {
+		t.Fatal("zero threads should error")
+	}
+	cfg = quickTiming("nope", "mcf", 2048)
+	if _, err := RunTiming(cfg); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+	cfg = quickTiming("cable", "nope", 2048)
+	if _, err := RunTiming(cfg); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace records and replays memory-access streams. The paper
+// evaluates on SimPoint traces; this package gives the synthetic
+// workloads the same workflow — capture a stream once, replay it
+// deterministically across schemes and configurations — and defines the
+// compact binary format the cabletrace tool reads and writes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cable/internal/workload"
+)
+
+// magic identifies the trace file format.
+const magic = "CBLT0001"
+
+// Header describes a recorded trace.
+type Header struct {
+	Benchmark string
+	Instance  uint32
+	AddrBase  uint64
+	Records   uint64
+}
+
+// Writer streams access records to w.
+type Writer struct {
+	bw     *bufio.Writer
+	count  uint64
+	closed bool
+}
+
+// NewWriter writes a trace header for the given source and returns a
+// Writer for its records.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	name := []byte(h.Benchmark)
+	if len(name) > 255 {
+		return nil, fmt.Errorf("trace: benchmark name %q too long", h.Benchmark)
+	}
+	if err := bw.WriteByte(byte(len(name))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return nil, err
+	}
+	var fixed [12]byte
+	binary.LittleEndian.PutUint32(fixed[0:], h.Instance)
+	binary.LittleEndian.PutUint64(fixed[4:], h.AddrBase)
+	if _, err := bw.Write(fixed[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one access record: line address delta-encoded against
+// the base is not attempted — records are fixed 13-byte entries
+// (8B address, 4B gap, 1B flags) for simplicity and O(1) seeking.
+func (w *Writer) Write(a workload.Access) error {
+	if w.closed {
+		return fmt.Errorf("trace: write after Close")
+	}
+	var rec [13]byte
+	binary.LittleEndian.PutUint64(rec[0:], a.LineAddr)
+	if a.Gap < 0 || a.Gap > 1<<31 {
+		return fmt.Errorf("trace: gap %d out of range", a.Gap)
+	}
+	binary.LittleEndian.PutUint32(rec[8:], uint32(a.Gap))
+	if a.Write {
+		rec[12] = 1
+	}
+	if _, err := w.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes the stream.
+func (w *Writer) Close() error {
+	w.closed = true
+	return w.bw.Flush()
+}
+
+// Reader replays a recorded trace.
+type Reader struct {
+	br     *bufio.Reader
+	header Header
+}
+
+// NewReader parses the header and prepares record iteration.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var fixed [12]byte
+	if _, err := io.ReadFull(br, fixed[:]); err != nil {
+		return nil, err
+	}
+	return &Reader{
+		br: br,
+		header: Header{
+			Benchmark: string(name),
+			Instance:  binary.LittleEndian.Uint32(fixed[0:]),
+			AddrBase:  binary.LittleEndian.Uint64(fixed[4:]),
+		},
+	}, nil
+}
+
+// Header returns the trace metadata.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next record, or io.EOF at end of trace.
+func (r *Reader) Next() (workload.Access, error) {
+	var rec [13]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return workload.Access{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return workload.Access{}, err
+	}
+	return workload.Access{
+		LineAddr: binary.LittleEndian.Uint64(rec[0:]),
+		Gap:      int(binary.LittleEndian.Uint32(rec[8:])),
+		Write:    rec[12] != 0,
+	}, nil
+}
+
+// Record captures n accesses from a generator into w.
+func Record(w io.Writer, gen *workload.Generator, n int) error {
+	tw, err := NewWriter(w, Header{
+		Benchmark: gen.Spec().Name,
+		AddrBase:  gen.AddrBase(),
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

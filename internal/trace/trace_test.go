@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cable/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	gen, err := workload.New("gcc", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := workload.New("gcc", 0, 1<<20)
+
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Benchmark != "gcc" || h.AddrBase != 1<<20 {
+		t.Fatalf("header = %+v", h)
+	}
+	for i := 0; i < 1000; i++ {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := ref.Next()
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE123"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("CB"))); err == nil {
+		t.Fatal("short header should error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	gen, _ := workload.New("gcc", 0, 0)
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 2); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record should parse: %v", err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record should be a hard error, got %v", err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Write(workload.Access{}); err == nil {
+		t.Fatal("write after close should error")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := NewWriter(&buf, Header{Benchmark: string(long)}); err == nil {
+		t.Fatal("overlong name should error")
+	}
+	w, _ := NewWriter(&buf, Header{Benchmark: "ok"})
+	if err := w.Write(workload.Access{Gap: -1}); err == nil {
+		t.Fatal("negative gap should error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Benchmark: "x"})
+	for i := 0; i < 5; i++ {
+		w.Write(workload.Access{LineAddr: uint64(i), Gap: 1})
+	}
+	if w.Count() != 5 {
+		t.Fatalf("count = %d", w.Count())
+	}
+}

@@ -1,0 +1,152 @@
+// Package workload provides synthetic stand-ins for the SPEC2006
+// SimPoint traces the paper evaluates with. Real traces are not
+// available offline, so each benchmark is modeled along the axes that
+// drive link-compression behavior (see DESIGN.md):
+//
+//   - zero dominance (the paper's "easier to compress" right group of
+//     Fig 12, which every scheme pushes past 16×),
+//   - inter-line similarity at unrelated addresses — copies of objects
+//     sharing a prototype layout — which only a cache-sized dictionary
+//     (CABLE) can exploit once the reuse distance exceeds gzip's 32 KB
+//     window,
+//   - stream-local byte-level redundancy and byte-shifted copies, which
+//     favor gzip's byte-granular sliding window over CABLE's
+//     word-aligned signatures,
+//   - memory intensity and footprint, which drive the throughput and
+//     latency studies.
+//
+// Parameters are calibrated so that the published qualitative ordering
+// holds per benchmark group; absolute ratios are synthetic.
+package workload
+
+import "fmt"
+
+// ValueModel selects the content family for fresh lines and prototypes.
+type ValueModel int
+
+// Content families.
+const (
+	// ValuePointer: arrays of 8-byte pointers sharing a heap base.
+	ValuePointer ValueModel = iota
+	// ValueInt: small integers and counters; many trivial words.
+	ValueInt
+	// ValueFP: doubles sharing exponent bytes, smooth mantissas.
+	ValueFP
+	// ValueText: ASCII with repeated fragments; byte-granular
+	// redundancy.
+	ValueText
+	// ValueRandom: incompressible content.
+	ValueRandom
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Class string // "int" or "fp"
+	Model ValueModel
+
+	// Content axes.
+	ZeroFrac      float64 // P(line is zero-dominated)
+	ProtoFrac     float64 // P(line is a mutated prototype copy)
+	ProtoCount    int     // prototype pool size
+	MutateWords   int     // words edited per prototype copy
+	ByteShiftFrac float64 // P(prototype copy is byte-shifted)
+	ObjLines      int     // consecutive lines sharing one prototype
+
+	// Access-pattern axes.
+	WorkingSetLines int     // footprint in 64B lines
+	HotLines        int     // hot subset size
+	HotFrac         float64 // P(access in hot subset)
+	StreamFrac      float64 // P(access continues the stream)
+	WriteFrac       float64 // P(access is a store)
+	PhaseLen        int     // accesses per program phase
+
+	// Timing axes.
+	GapInstrs int // mean non-memory instructions between LLC accesses
+
+	// ZeroDominant marks the Fig 12 right group, excluded from the
+	// multiprogram and sensitivity studies (§VI-A footnote 5).
+	ZeroDominant bool
+}
+
+// specs is the full SPEC CPU2006 suite, modeled per the axes above.
+var specs = []Spec{
+	// ---- CINT2006 ----
+	{Name: "perlbench", Class: "int", Model: ValueText, ZeroFrac: 0.20, ProtoFrac: 0.25, ProtoCount: 48, MutateWords: 3, ByteShiftFrac: 0.45, ObjLines: 4, WorkingSetLines: 1 << 15, HotLines: 1 << 12, HotFrac: 0.6, StreamFrac: 0.3, WriteFrac: 0.30, PhaseLen: 40000, GapInstrs: 160},
+	{Name: "bzip2", Class: "int", Model: ValueText, ZeroFrac: 0.15, ProtoFrac: 0.20, ProtoCount: 32, MutateWords: 4, ByteShiftFrac: 0.50, ObjLines: 8, WorkingSetLines: 1 << 16, HotLines: 1 << 12, HotFrac: 0.4, StreamFrac: 0.5, WriteFrac: 0.35, PhaseLen: 30000, GapInstrs: 100},
+	{Name: "gcc", Class: "int", Model: ValuePointer, ZeroFrac: 0.35, ProtoFrac: 0.35, ProtoCount: 64, MutateWords: 2, ByteShiftFrac: 0.20, ObjLines: 4, WorkingSetLines: 1 << 17, HotLines: 1 << 13, HotFrac: 0.4, StreamFrac: 0.3, WriteFrac: 0.30, PhaseLen: 8000, GapInstrs: 100},
+	{Name: "mcf", Class: "int", Model: ValuePointer, ZeroFrac: 0.94, ProtoFrac: 0.04, ProtoCount: 16, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 2, WorkingSetLines: 1 << 20, HotLines: 1 << 14, HotFrac: 0.2, StreamFrac: 0.2, WriteFrac: 0.25, PhaseLen: 50000, GapInstrs: 12, ZeroDominant: true},
+	{Name: "gobmk", Class: "int", Model: ValueInt, ZeroFrac: 0.30, ProtoFrac: 0.55, ProtoCount: 96, MutateWords: 1, ByteShiftFrac: 0, ObjLines: 2, WorkingSetLines: 1 << 14, HotLines: 1 << 11, HotFrac: 0.6, StreamFrac: 0.1, WriteFrac: 0.30, PhaseLen: 25000, GapInstrs: 250},
+	{Name: "hmmer", Class: "int", Model: ValueInt, ZeroFrac: 0.10, ProtoFrac: 0.20, ProtoCount: 24, MutateWords: 6, ByteShiftFrac: 0.15, ObjLines: 4, WorkingSetLines: 1 << 13, HotLines: 1 << 10, HotFrac: 0.7, StreamFrac: 0.25, WriteFrac: 0.40, PhaseLen: 60000, GapInstrs: 200},
+	{Name: "sjeng", Class: "int", Model: ValueRandom, ZeroFrac: 0.15, ProtoFrac: 0.15, ProtoCount: 32, MutateWords: 5, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 16, HotLines: 1 << 12, HotFrac: 0.5, StreamFrac: 0.1, WriteFrac: 0.25, PhaseLen: 40000, GapInstrs: 250},
+	{Name: "libquantum", Class: "int", Model: ValueInt, ZeroFrac: 0.95, ProtoFrac: 0.04, ProtoCount: 8, MutateWords: 1, ByteShiftFrac: 0, ObjLines: 16, WorkingSetLines: 1 << 19, HotLines: 1 << 12, HotFrac: 0.1, StreamFrac: 0.8, WriteFrac: 0.30, PhaseLen: 80000, GapInstrs: 20, ZeroDominant: true},
+	{Name: "h264ref", Class: "int", Model: ValueText, ZeroFrac: 0.25, ProtoFrac: 0.25, ProtoCount: 40, MutateWords: 4, ByteShiftFrac: 0.40, ObjLines: 8, WorkingSetLines: 1 << 14, HotLines: 1 << 11, HotFrac: 0.5, StreamFrac: 0.45, WriteFrac: 0.35, PhaseLen: 30000, GapInstrs: 200},
+	{Name: "omnetpp", Class: "int", Model: ValuePointer, ZeroFrac: 0.30, ProtoFrac: 0.45, ProtoCount: 80, MutateWords: 2, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.35, StreamFrac: 0.1, WriteFrac: 0.35, PhaseLen: 50000, GapInstrs: 28},
+	{Name: "astar", Class: "int", Model: ValuePointer, ZeroFrac: 0.30, ProtoFrac: 0.40, ProtoCount: 48, MutateWords: 2, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 17, HotLines: 1 << 13, HotFrac: 0.4, StreamFrac: 0.15, WriteFrac: 0.30, PhaseLen: 40000, GapInstrs: 50},
+	{Name: "xalancbmk", Class: "int", Model: ValueText, ZeroFrac: 0.25, ProtoFrac: 0.35, ProtoCount: 64, MutateWords: 3, ByteShiftFrac: 0.35, ObjLines: 4, WorkingSetLines: 1 << 17, HotLines: 1 << 12, HotFrac: 0.45, StreamFrac: 0.3, WriteFrac: 0.25, PhaseLen: 30000, GapInstrs: 80},
+	// ---- CFP2006 ----
+	{Name: "bwaves", Class: "fp", Model: ValueFP, ZeroFrac: 0.92, ProtoFrac: 0.06, ProtoCount: 16, MutateWords: 3, ByteShiftFrac: 0, ObjLines: 16, WorkingSetLines: 1 << 19, HotLines: 1 << 13, HotFrac: 0.15, StreamFrac: 0.75, WriteFrac: 0.30, PhaseLen: 80000, GapInstrs: 28, ZeroDominant: true},
+	{Name: "gamess", Class: "fp", Model: ValueRandom, ZeroFrac: 0.08, ProtoFrac: 0.12, ProtoCount: 24, MutateWords: 6, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 13, HotLines: 1 << 10, HotFrac: 0.7, StreamFrac: 0.2, WriteFrac: 0.35, PhaseLen: 60000, GapInstrs: 600},
+	{Name: "milc", Class: "fp", Model: ValueFP, ZeroFrac: 0.92, ProtoFrac: 0.06, ProtoCount: 16, MutateWords: 3, ByteShiftFrac: 0, ObjLines: 8, WorkingSetLines: 1 << 19, HotLines: 1 << 12, HotFrac: 0.15, StreamFrac: 0.7, WriteFrac: 0.35, PhaseLen: 70000, GapInstrs: 25, ZeroDominant: true},
+	{Name: "zeusmp", Class: "fp", Model: ValueFP, ZeroFrac: 0.30, ProtoFrac: 0.55, ProtoCount: 72, MutateWords: 1, ByteShiftFrac: 0, ObjLines: 8, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.3, StreamFrac: 0.5, WriteFrac: 0.35, PhaseLen: 60000, GapInstrs: 66},
+	{Name: "gromacs", Class: "fp", Model: ValueFP, ZeroFrac: 0.20, ProtoFrac: 0.30, ProtoCount: 40, MutateWords: 4, ByteShiftFrac: 0.05, ObjLines: 4, WorkingSetLines: 1 << 15, HotLines: 1 << 12, HotFrac: 0.55, StreamFrac: 0.3, WriteFrac: 0.35, PhaseLen: 50000, GapInstrs: 125},
+	{Name: "cactusADM", Class: "fp", Model: ValueFP, ZeroFrac: 0.35, ProtoFrac: 0.40, ProtoCount: 56, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 8, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.25, StreamFrac: 0.6, WriteFrac: 0.35, PhaseLen: 70000, GapInstrs: 83},
+	{Name: "leslie3d", Class: "fp", Model: ValueFP, ZeroFrac: 0.35, ProtoFrac: 0.35, ProtoCount: 48, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 8, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.2, StreamFrac: 0.65, WriteFrac: 0.35, PhaseLen: 60000, GapInstrs: 40},
+	{Name: "namd", Class: "fp", Model: ValueRandom, ZeroFrac: 0.10, ProtoFrac: 0.18, ProtoCount: 160, MutateWords: 6, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 14, HotLines: 1 << 11, HotFrac: 0.6, StreamFrac: 0.25, WriteFrac: 0.35, PhaseLen: 50000, GapInstrs: 333},
+	{Name: "dealII", Class: "fp", Model: ValueFP, ZeroFrac: 0.25, ProtoFrac: 0.60, ProtoCount: 112, MutateWords: 1, ByteShiftFrac: 0, ObjLines: 2, WorkingSetLines: 1 << 17, HotLines: 1 << 12, HotFrac: 0.4, StreamFrac: 0.15, WriteFrac: 0.30, PhaseLen: 45000, GapInstrs: 125},
+	{Name: "soplex", Class: "fp", Model: ValueFP, ZeroFrac: 0.40, ProtoFrac: 0.40, ProtoCount: 64, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 4, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.3, StreamFrac: 0.35, WriteFrac: 0.25, PhaseLen: 50000, GapInstrs: 25},
+	{Name: "povray", Class: "fp", Model: ValueRandom, ZeroFrac: 0.12, ProtoFrac: 0.20, ProtoCount: 48, MutateWords: 5, ByteShiftFrac: 0.05, ObjLines: 2, WorkingSetLines: 1 << 12, HotLines: 1 << 10, HotFrac: 0.8, StreamFrac: 0.1, WriteFrac: 0.30, PhaseLen: 40000, GapInstrs: 666},
+	{Name: "calculix", Class: "fp", Model: ValueFP, ZeroFrac: 0.15, ProtoFrac: 0.25, ProtoCount: 40, MutateWords: 5, ByteShiftFrac: 0.05, ObjLines: 4, WorkingSetLines: 1 << 14, HotLines: 1 << 11, HotFrac: 0.6, StreamFrac: 0.25, WriteFrac: 0.35, PhaseLen: 50000, GapInstrs: 250},
+	{Name: "GemsFDTD", Class: "fp", Model: ValueFP, ZeroFrac: 0.91, ProtoFrac: 0.07, ProtoCount: 24, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 16, WorkingSetLines: 1 << 19, HotLines: 1 << 12, HotFrac: 0.15, StreamFrac: 0.7, WriteFrac: 0.35, PhaseLen: 70000, GapInstrs: 33, ZeroDominant: true},
+	{Name: "tonto", Class: "fp", Model: ValueFP, ZeroFrac: 0.25, ProtoFrac: 0.58, ProtoCount: 96, MutateWords: 1, ByteShiftFrac: 0, ObjLines: 2, WorkingSetLines: 1 << 16, HotLines: 1 << 12, HotFrac: 0.45, StreamFrac: 0.15, WriteFrac: 0.30, PhaseLen: 45000, GapInstrs: 200},
+	{Name: "lbm", Class: "fp", Model: ValueFP, ZeroFrac: 0.94, ProtoFrac: 0.05, ProtoCount: 8, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 16, WorkingSetLines: 1 << 20, HotLines: 1 << 12, HotFrac: 0.05, StreamFrac: 0.9, WriteFrac: 0.45, PhaseLen: 100000, GapInstrs: 16, ZeroDominant: true},
+	{Name: "wrf", Class: "fp", Model: ValueFP, ZeroFrac: 0.35, ProtoFrac: 0.35, ProtoCount: 56, MutateWords: 2, ByteShiftFrac: 0, ObjLines: 8, WorkingSetLines: 1 << 17, HotLines: 1 << 13, HotFrac: 0.3, StreamFrac: 0.5, WriteFrac: 0.30, PhaseLen: 60000, GapInstrs: 55},
+	{Name: "sphinx3", Class: "fp", Model: ValueFP, ZeroFrac: 0.40, ProtoFrac: 0.30, ProtoCount: 48, MutateWords: 3, ByteShiftFrac: 0.05, ObjLines: 4, WorkingSetLines: 1 << 18, HotLines: 1 << 13, HotFrac: 0.35, StreamFrac: 0.4, WriteFrac: 0.20, PhaseLen: 50000, GapInstrs: 40},
+}
+
+// All returns every benchmark spec in suite order.
+func All() []Spec { return append([]Spec(nil), specs...) }
+
+// NonTrivial returns the suite minus the zero-dominant group, the set
+// used by the multiprogram and sensitivity studies (§VI footnote 5).
+func NonTrivial() []Spec {
+	out := make([]Spec, 0, len(specs))
+	for _, s := range specs {
+		if !s.ZeroDominant {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName looks up a benchmark spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Mixes is Table VI: the randomly chosen destructive multiprogram
+// mixes.
+var Mixes = [8][4]string{
+	{"h264ref", "soplex", "hmmer", "bzip2"}, // MIX0
+	{"gcc", "gobmk", "gcc", "soplex"},       // MIX1
+	{"bzip2", "lbm", "gobmk", "perlbench"},  // MIX2
+	{"gcc", "bzip2", "tonto", "cactusADM"},  // MIX3
+	{"perlbench", "wrf", "gobmk", "gcc"},    // MIX4
+	{"omnetpp", "bzip2", "bzip2", "gobmk"},  // MIX5
+	{"gcc", "tonto", "gamess", "cactusADM"}, // MIX6
+	{"gcc", "wrf", "gcc", "bzip2"},          // MIX7
+}
