@@ -1,0 +1,26 @@
+# Tier-1 verification (ROADMAP.md): build + tests.
+.PHONY: all build test check bench report
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check is the pre-merge gate: vet plus the full suite under the race
+# detector. The parallel execution layer (internal/experiments/runner.go)
+# is exercised concurrently by the runner tests, so this catches data
+# races in drivers and the core encode path.
+check:
+	go vet ./...
+	go test -race -timeout 45m ./...
+
+# bench runs the hot-path microbenchmarks in benchstat-friendly form
+# (10 samples each); pipe the output of two builds into benchstat.
+bench:
+	go test -run xxx -bench 'BenchmarkEncodeFill|BenchmarkDecodeFill|BenchmarkEngineCompress' -benchmem -count 10 .
+
+report:
+	go run ./cmd/cablereport -quick

@@ -11,9 +11,11 @@ package cable_test
 // the same drivers at full scale.
 
 import (
+	"runtime"
 	"testing"
 
 	"cable"
+	"cable/internal/sim"
 )
 
 // runExperiment executes an experiment once per benchmark iteration and
@@ -155,11 +157,33 @@ func BenchmarkOnOffControl(b *testing.B) {
 	}, "adaptive-loss-pct")
 }
 
+// benchRunAll drives the experiment runner over a fixed two-experiment
+// workload (one sweep-heavy, one cheap) at the given pool size, so
+// serial and parallel wall-clock are directly comparable with
+// benchstat: go test -bench 'BenchmarkRunAll' -count 10.
+func benchRunAll(b *testing.B, parallelism int) {
+	ids := []string{"fig21", "tab3"}
+	opt := cable.ExperimentOptions{Quick: true, Parallelism: parallelism}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cable.RunExperiments(ids, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
+
 // --- micro-benchmarks of the hot paths ---
 
-func BenchmarkEncodeFill(b *testing.B) {
+// warmChip builds a memory-link chip and drives it to steady state, so
+// the encode-path benchmarks below measure warm-structure behavior.
+func warmChip(b *testing.B) (*sim.Chip, []uint64) {
+	b.Helper()
 	cfg := cable.DefaultMemoryLinkConfig("dealII")
-	cfg.AccessesPerProgram = 1 // construct only
+	cfg.AccessesPerProgram = 4000
 	cfg.WithMeters = false
 	cfg.Chip.LLCBytes = 256 << 10
 	cfg.Chip.L4Bytes = 1 << 20
@@ -167,11 +191,76 @@ func BenchmarkEncodeFill(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = res
-	// Measure end-to-end protocol throughput: accesses per second on
-	// a warm chip.
-	cfg.AccessesPerProgram = 2000
+	chip := res.Chip
+	var addrs []uint64
+	for idx := 0; idx < chip.L4.NumSets(); idx++ {
+		for way := 0; way < chip.L4.Config().Ways; way++ {
+			if addr, ok := chip.L4.LineAddrOf(cable.LineID{Index: idx, Way: way}); ok {
+				addrs = append(addrs, addr)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		b.Fatal("warm chip has empty L4")
+	}
+	return chip, addrs
+}
+
+// BenchmarkEncodeFill measures the per-line encode hot path on a warm
+// home end: standalone compression, signature search, candidate
+// ranking, DIFF compression and hash-table/WMT synchronization. The
+// encode path is allocation-free in steady state (0 allocs/op).
+func BenchmarkEncodeFill(b *testing.B) {
+	chip, addrs := warmChip(b)
+	ways := chip.LLC.Config().Ways
+	b.SetBytes(64)
+	b.ReportAllocs()
 	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := addrs[i%len(addrs)]
+		if _, _, err := chip.Home.EncodeFill(addr, cable.Shared, i%ways); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFill measures one encode→decode round trip plus the
+// remote-side install bookkeeping that keeps the WMT truthful
+// (references resolved from the remote data array, DIFF expanded by
+// the engine).
+func BenchmarkDecodeFill(b *testing.B) {
+	chip, addrs := warmChip(b)
+	ways := chip.LLC.Config().Ways
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := addrs[i%len(addrs)]
+		way := i % ways
+		p, _, err := chip.Home.EncodeFill(addr, cable.Shared, way)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := chip.Remote.DecodeFill(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := cable.LineID{Index: chip.LLC.IndexOf(addr), Way: way}
+		chip.LLC.InsertAt(addr, data, cable.Shared, way)
+		chip.Remote.OnFillInstalled(id, data, cable.Shared)
+	}
+}
+
+// BenchmarkMemLinkProtocol is the former end-to-end form of
+// BenchmarkEncodeFill: whole-protocol throughput on a warm chip,
+// including every meter-free simulator layer.
+func BenchmarkMemLinkProtocol(b *testing.B) {
+	cfg := cable.DefaultMemoryLinkConfig("dealII")
+	cfg.AccessesPerProgram = 2000
+	cfg.WithMeters = false
+	cfg.Chip.LLCBytes = 256 << 10
+	cfg.Chip.L4Bytes = 1 << 20
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cable.RunMemoryLink(cfg); err != nil {
 			b.Fatal(err)

@@ -236,3 +236,21 @@ func DescribeExperiment(id string) string { return experiments.Describe(id) }
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
 	return experiments.Run(id, opt)
 }
+
+// ExperimentStream is one completed experiment as delivered by
+// StreamExperiments: the result (or error) plus driver wall-clock time.
+type ExperimentStream = experiments.StreamResult
+
+// RunExperiments regenerates the given tables/figures across a worker
+// pool bounded by opt.Parallelism (GOMAXPROCS when zero), returning
+// results in ids order. Parallel runs are bit-identical to serial ones.
+func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentResult, error) {
+	return experiments.RunAll(ids, opt)
+}
+
+// StreamExperiments is RunExperiments with incremental delivery: each
+// result arrives on the channel as soon as it and every earlier id have
+// finished, so consumers can render progressively without reordering.
+func StreamExperiments(ids []string, opt ExperimentOptions) <-chan ExperimentStream {
+	return experiments.RunAllStream(ids, opt)
+}

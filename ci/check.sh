@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet + full test suite under the race detector, then a smoke
+# run of the report CLI at reduced scale with a parallel worker pool.
+# Mirrors `make check`; kept as a script so CI systems without make can
+# call it directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+# The race detector is ~5x CPU; the experiment drivers need more than
+# the 10m default on small CI machines.
+go test -race -timeout 45m ./...
+
+echo "== cablereport smoke (quick, parallel)"
+go run ./cmd/cablereport -quick -exp tab3 -parallel 4 -o /dev/null
+
+echo "ci: OK"

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	cablereport            # full scale (minutes)
-//	cablereport -quick     # reduced scale
-//	cablereport -o out.md  # write to a file
+//	cablereport              # full scale (minutes)
+//	cablereport -quick       # reduced scale
+//	cablereport -o out.md    # write to a file
+//	cablereport -parallel 8  # bound the worker pool (default GOMAXPROCS)
+//
+// Experiments run concurrently but the report streams in paper order:
+// each section is written as soon as it and everything before it have
+// finished. Output is bit-identical at any -parallel setting.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"cable"
@@ -24,6 +30,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	only := flag.String("exp", "", "single experiment id to run")
 	charts := flag.Bool("charts", false, "render ASCII bar charts under each table")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within experiments")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -46,13 +53,14 @@ func main() {
 		mode = "quick"
 	}
 	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
-	for _, id := range ids {
-		start := time.Now()
-		res, err := cable.RunExperiment(id, cable.ExperimentOptions{Quick: *quick})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cablereport: %s: %v\n", id, err)
+	opt := cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
+	total := time.Now()
+	for sr := range cable.StreamExperiments(ids, opt) {
+		if sr.Err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: %s: %v\n", sr.ID, sr.Err)
 			os.Exit(1)
 		}
+		res := sr.Result
 		fmt.Fprintf(w, "%s\n", res.Table)
 		if *charts {
 			fmt.Fprintf(w, "```\n%s```\n\n", res.Table.ChartAll())
@@ -60,7 +68,9 @@ func main() {
 		for _, n := range res.Notes {
 			fmt.Fprintf(w, "> %s\n", n)
 		}
-		fmt.Fprintf(w, "\n_(%s: %s, %.1fs)_\n\n", id, cable.DescribeExperiment(id), time.Since(start).Seconds())
-		fmt.Fprintf(os.Stderr, "done %-8s %.1fs\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(w, "\n_(%s: %s, %.1fs)_\n\n", sr.ID, cable.DescribeExperiment(sr.ID), sr.Elapsed.Seconds())
+		fmt.Fprintf(os.Stderr, "done %-8s %.1fs\n", sr.ID, sr.Elapsed.Seconds())
 	}
+	fmt.Fprintf(os.Stderr, "total %d experiments, %.1fs wall clock (parallel=%d)\n",
+		len(ids), time.Since(total).Seconds(), *parallel)
 }

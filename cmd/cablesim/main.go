@@ -5,6 +5,7 @@
 //
 //	cablesim -exp fig12            # full-scale run
 //	cablesim -exp fig14a -quick    # reduced scale (seconds)
+//	cablesim -exp fig21 -parallel 8  # bound the per-cell worker pool
 //	cablesim -list                 # list experiment ids
 package main
 
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cable"
 )
@@ -20,6 +22,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (see -list)")
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	list := flag.Bool("list", false, "list experiment ids")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the driver's independent cells")
 	flag.Parse()
 
 	if *list {
@@ -32,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cablesim: -exp required (or -list); e.g. cablesim -exp fig12 -quick")
 		os.Exit(2)
 	}
-	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick})
+	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 		os.Exit(1)

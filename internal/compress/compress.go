@@ -51,16 +51,55 @@ type StreamDecoder interface {
 	Decompress(enc Encoded, lineSize int) ([]byte, error)
 }
 
+// Scratch holds the reusable buffers of the allocation-free compression
+// path. One Scratch belongs to one caller (a link end, a meter); it
+// must not be shared across goroutines. The Encoded returned by
+// CompressWith aliases the Scratch and is valid until the next call
+// with the same Scratch.
+type Scratch struct {
+	w    bits.Writer
+	dict []uint32
+	src  []uint32
+}
+
+// ScratchEngine is implemented by engines offering an allocation-free
+// compression path into caller-owned scratch space.
+type ScratchEngine interface {
+	Engine
+	// CompressScratch behaves like Compress but reuses s's buffers;
+	// the result aliases s.
+	CompressScratch(s *Scratch, line []byte, refs [][]byte) Encoded
+}
+
+// CompressWith compresses via the engine's scratch path when it offers
+// one, falling back to the allocating Compress. Passing a nil Scratch
+// always falls back.
+func CompressWith(e Engine, s *Scratch, line []byte, refs [][]byte) Encoded {
+	if se, ok := e.(ScratchEngine); ok && s != nil {
+		return se.CompressScratch(s, line, refs)
+	}
+	return e.Compress(line, refs)
+}
+
 // Words reinterprets a line as little-endian 32-bit words.
 func Words(line []byte) []uint32 {
+	return AppendWords(make([]uint32, 0, len(line)/4), line)
+}
+
+// Word32 reads the little-endian 32-bit word at byte offset off.
+func Word32(p []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(p[off : off+4])
+}
+
+// AppendWords appends line's little-endian 32-bit words to dst.
+func AppendWords(dst []uint32, line []byte) []uint32 {
 	if len(line)%4 != 0 {
 		panic(fmt.Sprintf("compress: line size %d not word aligned", len(line)))
 	}
-	ws := make([]uint32, len(line)/4)
-	for i := range ws {
-		ws[i] = binary.LittleEndian.Uint32(line[i*4:])
+	for i := 0; i+4 <= len(line); i += 4 {
+		dst = append(dst, binary.LittleEndian.Uint32(line[i:]))
 	}
-	return ws
+	return dst
 }
 
 // PutWords serializes words back to bytes.

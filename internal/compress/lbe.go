@@ -1,10 +1,6 @@
 package compress
 
-import (
-	"fmt"
-
-	"cable/internal/bits"
-)
+import "fmt"
 
 // LBE is a word-granularity dictionary encoder modeled on the
 // line-based encoder of MORC (Nguyen & Wentzlaff, MICRO 2015), the
@@ -109,10 +105,26 @@ func (d *lbeDict) idxBits() int { return indexBits(d.cap) }
 
 // Compress implements Engine.
 func (l *LBE) Compress(line []byte, refs [][]byte) Encoded {
-	d := newLBEDict(l.entries, refs)
+	var s Scratch
+	enc := l.CompressScratch(&s, line, refs)
+	// Detach from the throwaway scratch so the result owns its bits.
+	return Encoded{Data: append([]byte(nil), enc.Data...), NBits: enc.NBits}
+}
+
+// CompressScratch implements ScratchEngine: the hot-path form used by
+// CABLE link ends, which compress one line per fill and must not
+// allocate in steady state. The returned Encoded aliases s.
+func (l *LBE) CompressScratch(s *Scratch, line []byte, refs [][]byte) Encoded {
+	d := &lbeDict{words: s.dict[:0], cap: l.entries}
+	for _, r := range refs {
+		for i := 0; i+4 <= len(r); i += 4 {
+			d.push(Word32(r, i))
+		}
+	}
 	ib := d.idxBits()
-	src := Words(line)
-	var w bits.Writer
+	src := AppendWords(s.src[:0], line)
+	w := &s.w
+	w.Reset()
 	for p := 0; p < len(src); {
 		// Zero run.
 		zl := 0
@@ -152,6 +164,7 @@ func (l *LBE) Compress(line []byte, refs [][]byte) Encoded {
 			p++
 		}
 	}
+	s.dict, s.src = d.words, src
 	return Encoded{Data: w.Bytes(), NBits: w.Len()}
 }
 

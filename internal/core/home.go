@@ -26,12 +26,33 @@ type HomeEnd struct {
 	remoteWayBits int
 	lineSize      int
 
+	scr encScratch
+
 	// AckSeq is the highest remote EvictSeq this end has processed;
 	// it is echoed in responses (§IV-A).
 	AckSeq uint64
 
 	// Stats accumulates encoder decisions.
 	Stats HomeStats
+}
+
+// encScratch holds the reusable buffers of the encode pipeline so that
+// steady-state encodes allocate nothing. A link end owns exactly one
+// (ends are not goroutine-safe; parallel simulations build one link
+// per worker).
+type encScratch struct {
+	searchSigs []sig.Signature
+	insertSigs []sig.Signature
+	lookup     []cache.LineID
+	cands      []candidate
+	refs       []candidate
+	refData    [][]byte
+	refIDs     []cache.LineID
+	raw        []byte
+	decRefs    [][]byte
+	standalone compress.Scratch
+	diff       compress.Scratch
+	pick       refPicker
 }
 
 // HomeStats counts encoder events.
@@ -180,7 +201,7 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 		// (always true for inclusive hierarchies).
 		if line, homeID, ok := h.home.Probe(lineAddr); ok {
 			h.wmt.Set(rSlot, homeID)
-			h.ht.InsertLine(h.ex, line.Data, homeID)
+			h.insertLine(line.Data, homeID)
 		}
 	}
 	payload.AckSeq = h.AckSeq
@@ -192,14 +213,21 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 // encode runs the §III-C/§III-E pipeline on one line: concurrent
 // standalone compression, threshold check, signature search, CBV
 // ranking, DIFF compression, and the smallest-payload decision.
+//
+// Every buffer the returned Payload carries (Raw, Refs, Diff bits)
+// aliases this end's scratch, so a payload is valid only until the
+// next encode on the same end; callers that retain one must Clone it.
+// The simulators and link drivers all consume payloads immediately.
 func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
-	standalone := h.engine.Compress(data, nil)
+	scr := &h.scr
+	standalone := compress.CompressWith(h.engine, &scr.standalone, data, nil)
 	rawBits := flagBits + len(data)*8
 
 	best := Payload{Compressed: true, Diff: standalone}
 	bestBits := best.Bits(h.RemoteLIDBits())
 	if rawBits < bestBits {
-		best = Payload{Raw: append([]byte(nil), data...)}
+		scr.raw = append(scr.raw[:0], data...)
+		best = Payload{Raw: scr.raw}
 		bestBits = rawBits
 	}
 	lat := FillLatency{CompressCycles: CompressLatency, DecompressCycles: DecompressLatency}
@@ -209,20 +237,21 @@ func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
 		return best, lat
 	}
 
-	sigs := h.ex.SearchSignatures(data, h.cfg.MaxSearchSigs)
+	scr.searchSigs = h.ex.AppendSearchSignatures(scr.searchSigs[:0], data, h.cfg.MaxSearchSigs)
+	sigs := scr.searchSigs
 	h.Stats.SigsSearched += uint64(len(sigs))
 	lat.SearchCycles = searchLatency(len(sigs))
 	cands := h.gatherCandidates(data, sigs)
-	refs := selectRefs(cands, h.cfg.MaxRefs)
-	if len(refs) > 0 {
-		refData := make([][]byte, len(refs))
-		remoteIDs := make([]cache.LineID, len(refs))
-		for i, c := range refs {
-			refData[i] = c.data
-			remoteIDs[i] = c.remoteID
+	scr.refs = scr.pick.pick(cands, h.cfg.MaxRefs, scr.refs[:0])
+	if refs := scr.refs; len(refs) > 0 {
+		scr.refData = scr.refData[:0]
+		scr.refIDs = scr.refIDs[:0]
+		for _, c := range refs {
+			scr.refData = append(scr.refData, c.data)
+			scr.refIDs = append(scr.refIDs, c.remoteID)
 		}
-		diff := h.engine.Compress(data, refData)
-		p := Payload{Compressed: true, Refs: remoteIDs, Diff: diff}
+		diff := compress.CompressWith(h.engine, &scr.diff, data, scr.refData)
+		p := Payload{Compressed: true, Refs: scr.refIDs, Diff: diff}
 		if b := p.Bits(h.RemoteLIDBits()); b < bestBits {
 			best, bestBits = p, b
 		}
@@ -233,29 +262,26 @@ func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
 // gatherCandidates probes the hash table with every search signature,
 // pre-ranks by duplication, reads the top candidates from the data
 // array, checks remote residency through the WMT, and builds CBVs.
+// Candidates are deduplicated by a linear scan in first-seen order —
+// at most MaxSearchSigs×BucketDepth entries, so this matches the old
+// map-based bookkeeping bit for bit without its allocations.
 func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidate {
-	type slot struct {
-		order int
-		dups  int
-	}
-	counts := make(map[cache.LineID]*slot)
-	var order []cache.LineID
-	scratch := make([]cache.LineID, 0, h.cfg.BucketDepth)
+	scr := &h.scr
+	cands := scr.cands[:0]
 	for _, s := range sigs {
-		scratch = h.ht.Lookup(s, scratch[:0])
-		for _, id := range scratch {
-			if c, ok := counts[id]; ok {
-				c.dups++
-			} else {
-				counts[id] = &slot{order: len(order), dups: 1}
-				order = append(order, id)
+		scr.lookup = h.ht.Lookup(s, scr.lookup[:0])
+	next:
+		for _, id := range scr.lookup {
+			for i := range cands {
+				if cands[i].homeID == id {
+					cands[i].dups++
+					continue next
+				}
 			}
+			cands = append(cands, candidate{homeID: id, dups: 1})
 		}
 	}
-	cands := make([]candidate, 0, len(order))
-	for _, id := range order {
-		cands = append(cands, candidate{homeID: id, dups: counts[id].dups})
-	}
+	scr.cands = cands
 	cands = preRank(cands, h.cfg.AccessCount)
 
 	out := cands[:0]
@@ -280,6 +306,24 @@ func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidat
 	return out
 }
 
+// insertLine records data's insert-signatures for id through the
+// reused signature scratch.
+func (h *HomeEnd) insertLine(data []byte, id cache.LineID) {
+	h.scr.insertSigs = h.ex.AppendInsertSignatures(h.scr.insertSigs[:0], data)
+	for _, s := range h.scr.insertSigs {
+		h.ht.Insert(s, id)
+	}
+}
+
+// removeLine scrubs data's insert-signatures for id through the reused
+// signature scratch.
+func (h *HomeEnd) removeLine(data []byte, id cache.LineID) {
+	h.scr.insertSigs = h.ex.AppendInsertSignatures(h.scr.insertSigs[:0], data)
+	for _, s := range h.scr.insertSigs {
+		h.ht.Remove(s, id)
+	}
+}
+
 // noteDisplacement handles the implicit eviction conveyed by the
 // way-replacement info: whatever the WMT tracked in the target remote
 // slot is about to be displaced, so its signatures must be removed.
@@ -289,7 +333,7 @@ func (h *HomeEnd) noteDisplacement(rSlot cache.LineID) {
 		return
 	}
 	if line := h.home.ReadByID(displacedHome); line != nil {
-		h.ht.RemoveLine(h.ex, line.Data, displacedHome)
+		h.removeLine(line.Data, displacedHome)
 	}
 }
 
@@ -327,7 +371,7 @@ func (h *HomeEnd) OnHomeEviction(lineAddr uint64) {
 		return
 	}
 	h.wmt.ClearHome(homeID)
-	h.ht.RemoveLine(h.ex, line.Data, homeID)
+	h.removeLine(line.Data, homeID)
 }
 
 // OnUpgrade processes a shared→modified upgrade request: the remote
@@ -339,7 +383,7 @@ func (h *HomeEnd) OnUpgrade(lineAddr uint64) {
 		return
 	}
 	h.wmt.ClearHome(homeID)
-	h.ht.RemoveLine(h.ex, line.Data, homeID)
+	h.removeLine(line.Data, homeID)
 }
 
 // DecodeWriteback reconstructs a write-back payload produced by the
@@ -353,7 +397,7 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 		}
 		return append([]byte(nil), p.Raw...), nil
 	}
-	refs := make([][]byte, 0, len(p.Refs))
+	h.scr.decRefs = h.scr.decRefs[:0]
 	for _, rid := range p.Refs {
 		homeID, ok := h.wmt.Reverse(rid)
 		if !ok {
@@ -363,7 +407,7 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 		if line == nil {
 			return nil, fmt.Errorf("core: WMT maps %v to empty home slot %v", rid, homeID)
 		}
-		refs = append(refs, line.Data)
+		h.scr.decRefs = append(h.scr.decRefs, line.Data)
 	}
-	return h.engine.Decompress(p.Diff, refs, h.lineSize)
+	return h.engine.Decompress(p.Diff, h.scr.decRefs, h.lineSize)
 }

@@ -26,6 +26,24 @@ type Payload struct {
 	AckSeq uint64
 }
 
+// Clone returns a deep copy that owns its buffers. The payloads
+// produced by EncodeFill/EncodeWriteback alias their end's reusable
+// scratch and are valid only until that end's next encode; callers
+// that retain a payload across encodes must Clone it first.
+func (p Payload) Clone() Payload {
+	q := p
+	if p.Refs != nil {
+		q.Refs = append([]cache.LineID(nil), p.Refs...)
+	}
+	if p.Diff.Data != nil {
+		q.Diff.Data = append([]byte(nil), p.Diff.Data...)
+	}
+	if p.Raw != nil {
+		q.Raw = append([]byte(nil), p.Raw...)
+	}
+	return q
+}
+
 // payload header widths.
 const (
 	flagBits     = 1

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/bits"
-	"sort"
 
 	"cable/internal/cache"
 	"cable/internal/sig"
@@ -35,12 +34,36 @@ func CoverageVector(data, ref []byte) uint32 {
 // preRank orders candidates by duplication count (§III-C: LineIDs that
 // several signatures map to are more likely similar) and truncates to
 // accessCount — the number of data-array reads the search step spends.
+// A hand-rolled stable insertion sort keeps the hot path allocation-
+// free (sort.SliceStable boxes its closure); candidate lists are tiny
+// (≤ MaxSearchSigs × BucketDepth entries).
 func preRank(cands []candidate, accessCount int) []candidate {
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dups > cands[j].dups })
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].dups < c.dups {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = c
+	}
 	if len(cands) > accessCount {
 		cands = cands[:accessCount]
 	}
 	return cands
+}
+
+// maxRefBound caps the reference-set enumeration depth. The payload's
+// 2-bit refcount field bounds Config.MaxRefs to 3 (Validate enforces
+// it), so fixed arrays of this size make the picker allocation-free.
+const maxRefBound = 3
+
+// refPicker is the reusable scratch of the reference-selection step.
+// Zero value is ready; one picker belongs to one link end.
+type refPicker struct {
+	best    [maxRefBound]int
+	bestLen int
+	chosen  [maxRefBound]int
 }
 
 // selectRefs picks the subset of at most maxRefs candidates maximizing
@@ -51,43 +74,57 @@ func preRank(cands []candidate, accessCount int) []candidate {
 // RemoteLID on the wire), then higher duplication counts. Candidates
 // contributing no additional coverage are dropped.
 func selectRefs(cands []candidate, maxRefs int) []candidate {
+	var pk refPicker
+	return pk.pick(cands, maxRefs, nil)
+}
+
+// pick appends the selected references to out and returns it; with a
+// reused out buffer the whole selection is allocation-free.
+func (pk *refPicker) pick(cands []candidate, maxRefs int, out []candidate) []candidate {
 	if maxRefs <= 0 || len(cands) == 0 {
-		return nil
+		return out[:0]
 	}
-	bestCover, bestSize, bestDups := -1, 0, -1
-	var best []int
-	n := len(cands)
-	var walk func(start int, chosen []int)
-	walk = func(start int, chosen []int) {
-		if len(chosen) > 0 {
+	if maxRefs > maxRefBound {
+		maxRefs = maxRefBound
+	}
+	bestCover, bestDups := -1, -1
+	pk.bestLen = 0
+	bestSize := 0
+	// walk enumerates index subsets in lexicographic order (identical
+	// to the recursive formulation, so tie-breaking is unchanged).
+	var walk func(start, depth int)
+	walk = func(start, depth int) {
+		if depth > 0 {
 			var cbv uint32
 			dups := 0
-			for _, i := range chosen {
+			for _, i := range pk.chosen[:depth] {
 				cbv |= cands[i].cbv
 				dups += cands[i].dups
 			}
 			cover := bits.OnesCount32(cbv)
 			better := cover > bestCover ||
-				(cover == bestCover && len(chosen) < bestSize) ||
-				(cover == bestCover && len(chosen) == bestSize && dups > bestDups)
+				(cover == bestCover && depth < bestSize) ||
+				(cover == bestCover && depth == bestSize && dups > bestDups)
 			if better {
-				bestCover, bestSize, bestDups = cover, len(chosen), dups
-				best = append(best[:0], chosen...)
+				bestCover, bestSize, bestDups = cover, depth, dups
+				pk.bestLen = copy(pk.best[:], pk.chosen[:depth])
 			}
 		}
-		if len(chosen) == maxRefs {
+		if depth == maxRefs {
 			return
 		}
-		for i := start; i < n; i++ {
-			walk(i+1, append(chosen, i))
+		for i := start; i < len(cands); i++ {
+			pk.chosen[depth] = i
+			walk(i+1, depth+1)
 		}
 	}
-	walk(0, nil)
+	walk(0, 0)
 	if bestCover <= 0 {
-		return nil // no candidate matches even one word
+		return out[:0] // no candidate matches even one word
 	}
+	best := pk.best[:pk.bestLen]
 	// Drop members that add nothing over the rest of the chosen set.
-	out := make([]candidate, 0, len(best))
+	out = out[:0]
 	for k, i := range best {
 		var others uint32
 		for k2, j := range best {

@@ -23,6 +23,8 @@ type RemoteEnd struct {
 
 	lineSize int
 
+	scr encScratch
+
 	// Stats accumulates decoder/WB-encoder events.
 	Stats RemoteStats
 }
@@ -91,20 +93,36 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 		}
 		return append([]byte(nil), p.Raw...), nil
 	}
-	refs := make([][]byte, 0, len(p.Refs))
+	r.scr.decRefs = r.scr.decRefs[:0]
 	for _, rid := range p.Refs {
 		if data := r.evbuf.Resolve(rid, p.AckSeq); data != nil {
 			r.Stats.RescuedRefs++
-			refs = append(refs, data)
+			r.scr.decRefs = append(r.scr.decRefs, data)
 			continue
 		}
 		line := r.remote.ReadByID(rid)
 		if line == nil {
 			return nil, fmt.Errorf("core: fill references empty remote slot %v", rid)
 		}
-		refs = append(refs, line.Data)
+		r.scr.decRefs = append(r.scr.decRefs, line.Data)
 	}
-	return r.engine.Decompress(p.Diff, refs, r.lineSize)
+	return r.engine.Decompress(p.Diff, r.scr.decRefs, r.lineSize)
+}
+
+// insertLine and removeLine mirror the home end's scratch-backed
+// hash-table maintenance.
+func (r *RemoteEnd) insertLine(data []byte, id cache.LineID) {
+	r.scr.insertSigs = r.ex.AppendInsertSignatures(r.scr.insertSigs[:0], data)
+	for _, s := range r.scr.insertSigs {
+		r.ht.Insert(s, id)
+	}
+}
+
+func (r *RemoteEnd) removeLine(data []byte, id cache.LineID) {
+	r.scr.insertSigs = r.ex.AppendInsertSignatures(r.scr.insertSigs[:0], data)
+	for _, s := range r.scr.insertSigs {
+		r.ht.Remove(s, id)
+	}
 }
 
 // OnFillInstalled must be called after the decoded line is installed in
@@ -112,7 +130,7 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 // write-backs can reference them (§III-F).
 func (r *RemoteEnd) OnFillInstalled(id cache.LineID, data []byte, state cache.State) {
 	if state == cache.Shared {
-		r.ht.InsertLine(r.ex, data, id)
+		r.insertLine(data, id)
 	}
 }
 
@@ -121,7 +139,7 @@ func (r *RemoteEnd) OnFillInstalled(id cache.LineID, data []byte, state cache.St
 // copy against in-flight references, and returns the EvictSeq to embed
 // in the eviction notice (§IV-A).
 func (r *RemoteEnd) OnEviction(id cache.LineID, data []byte) uint64 {
-	r.ht.RemoveLine(r.ex, data, id)
+	r.removeLine(data, id)
 	return r.evbuf.Add(id, data)
 }
 
@@ -136,13 +154,13 @@ func (r *RemoteEnd) OnAck(seq uint64) { r.evbuf.Release(seq) }
 // linearly-interleaved home mappings, where the displacement is
 // processed before any response that could reference the victim.
 func (r *RemoteEnd) OnSilentEviction(id cache.LineID, data []byte) {
-	r.ht.RemoveLine(r.ex, data, id)
+	r.removeLine(data, id)
 }
 
 // OnUpgrade must be called when the core writes to a shared line: it
 // stops serving as a reference.
 func (r *RemoteEnd) OnUpgrade(id cache.LineID, data []byte) {
-	r.ht.RemoveLine(r.ex, data, id)
+	r.removeLine(data, id)
 }
 
 // EncodeWriteback compresses a dirty line being written back to the
@@ -150,32 +168,37 @@ func (r *RemoteEnd) OnUpgrade(id cache.LineID, data []byte) {
 // must be clean shared lines; the payload carries the remote's own
 // LineIDs, which the home end translates through its WMT (§III-G).
 // Write-back compression is disabled for non-inclusive hierarchies.
+// Like EncodeFill payloads, the result aliases this end's scratch and
+// is valid until the next encode; retainers must Clone it.
 func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 	r.Stats.Writebacks++
 	r.Stats.WBSourceBits += uint64(len(data) * 8)
+	scr := &r.scr
 
-	standalone := r.engine.Compress(data, nil)
+	standalone := compress.CompressWith(r.engine, &scr.standalone, data, nil)
 	best := Payload{Compressed: true, Diff: standalone}
 	bestBits := best.Bits(r.RemoteLIDBits())
 	if rawBits := flagBits + len(data)*8; rawBits < bestBits {
-		best = Payload{Raw: append([]byte(nil), data...)}
+		scr.raw = append(scr.raw[:0], data...)
+		best = Payload{Raw: scr.raw}
 		bestBits = rawBits
 	}
 
 	searchRefs := r.cfg.WritebackCompression &&
 		compress.Ratio(len(data), standalone.NBits) < r.cfg.StandaloneThreshold
 	if searchRefs {
-		sigs := r.ex.SearchSignatures(data, r.cfg.MaxSearchSigs)
-		cands := r.gatherWBCandidates(data, sigs)
-		if refs := selectRefs(cands, r.cfg.MaxRefs); len(refs) > 0 {
-			refData := make([][]byte, len(refs))
-			rids := make([]cache.LineID, len(refs))
-			for i, c := range refs {
-				refData[i] = c.data
-				rids[i] = c.remoteID
+		scr.searchSigs = r.ex.AppendSearchSignatures(scr.searchSigs[:0], data, r.cfg.MaxSearchSigs)
+		cands := r.gatherWBCandidates(data, scr.searchSigs)
+		scr.refs = scr.pick.pick(cands, r.cfg.MaxRefs, scr.refs[:0])
+		if refs := scr.refs; len(refs) > 0 {
+			scr.refData = scr.refData[:0]
+			scr.refIDs = scr.refIDs[:0]
+			for _, c := range refs {
+				scr.refData = append(scr.refData, c.data)
+				scr.refIDs = append(scr.refIDs, c.remoteID)
 			}
-			diff := r.engine.Compress(data, refData)
-			p := Payload{Compressed: true, Refs: rids, Diff: diff}
+			diff := compress.CompressWith(r.engine, &scr.diff, data, scr.refData)
+			p := Payload{Compressed: true, Refs: scr.refIDs, Diff: diff}
 			if b := p.Bits(r.RemoteLIDBits()); b < bestBits {
 				best, bestBits = p, b
 			}
@@ -198,25 +221,22 @@ func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 // that was upgraded or evicted has left the hash table, but verify
 // anyway — the structure is allowed to be inexact, the result is not).
 func (r *RemoteEnd) gatherWBCandidates(data []byte, sigs []sig.Signature) []candidate {
-	type slot struct{ dups int }
-	counts := make(map[cache.LineID]*slot)
-	var order []cache.LineID
-	scratch := make([]cache.LineID, 0, r.cfg.BucketDepth)
+	scr := &r.scr
+	cands := scr.cands[:0]
 	for _, s := range sigs {
-		scratch = r.ht.Lookup(s, scratch[:0])
-		for _, id := range scratch {
-			if c, ok := counts[id]; ok {
-				c.dups++
-			} else {
-				counts[id] = &slot{dups: 1}
-				order = append(order, id)
+		scr.lookup = r.ht.Lookup(s, scr.lookup[:0])
+	next:
+		for _, id := range scr.lookup {
+			for i := range cands {
+				if cands[i].remoteID == id {
+					cands[i].dups++
+					continue next
+				}
 			}
+			cands = append(cands, candidate{remoteID: id, dups: 1})
 		}
 	}
-	cands := make([]candidate, 0, len(order))
-	for _, id := range order {
-		cands = append(cands, candidate{remoteID: id, dups: counts[id].dups})
-	}
+	scr.cands = cands
 	cands = preRank(cands, r.cfg.AccessCount)
 	out := cands[:0]
 	for _, c := range cands {

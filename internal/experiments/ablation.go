@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"cable/internal/sim"
 	"cable/internal/stats"
 )
@@ -21,69 +19,39 @@ func Ablation(opt Options) (*Result, error) {
 	t := stats.NewTable("Ablation: CABLE design choices", "ratio")
 	names := sweepSubset(opt)
 
-	mean := func(mutate func(*sim.MemLinkConfig)) (float64, error) {
+	// One variant per row; the (variant × benchmark) grid fans out as a
+	// single flat cell set. The tag-pointer variant re-accounts the same
+	// traffic with 40-bit tags per reference — the encoder decisions
+	// shift too (wider pointers make references less attractive), which
+	// the paper's WMT avoids.
+	variants := []struct {
+		row    string
+		mutate func(*sim.MemLinkConfig)
+	}{
+		{"baseline (17b LIDs, depth 2, 2 sigs)", func(*sim.MemLinkConfig) {}},
+		{"40b tag pointers (no WMT)", func(c *sim.MemLinkConfig) { c.Chip.TagPointers = true }},
+		{"bucket depth 1", func(c *sim.MemLinkConfig) { c.Chip.Cable.BucketDepth = 1 }},
+		{"bucket depth 4", func(c *sim.MemLinkConfig) { c.Chip.Cable.BucketDepth = 4 }},
+		{"1 insert signatures", func(c *sim.MemLinkConfig) { c.Chip.Cable.InsertSigs = 1 }},
+		{"4 insert signatures", func(c *sim.MemLinkConfig) { c.Chip.Cable.InsertSigs = 4 }},
+	}
+	results, errs := sweepCells(opt, len(variants), names, func(vi int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.WithMeters = false
+		variants[vi].mutate(&cfg)
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var vs []float64
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.WithMeters = false
-			mutate(&cfg)
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return 0, err
-			}
-			vs = append(vs, res.Ratio("cable"))
+		for ni := range names {
+			vs = append(vs, results[vi*len(names)+ni].Ratio("cable"))
 		}
-		return stats.Mean(vs), nil
-	}
-
-	base, err := mean(func(*sim.MemLinkConfig) {})
-	if err != nil {
-		return nil, err
-	}
-	t.Set("baseline (17b LIDs, depth 2, 2 sigs)", "ratio", base)
-
-	// Pointer width: re-account the same traffic with 40-bit tags per
-	// reference. The encoder decisions shift too (wider pointers make
-	// references less attractive), which the paper's WMT avoids.
-	tagPointers, err := meanWithTagPointers(opt, names)
-	if err != nil {
-		return nil, err
-	}
-	t.Set("40b tag pointers (no WMT)", "ratio", tagPointers)
-
-	for _, depth := range []int{1, 4} {
-		v, err := mean(func(c *sim.MemLinkConfig) { c.Chip.Cable.BucketDepth = depth })
-		if err != nil {
-			return nil, err
-		}
-		t.Set(fmt.Sprintf("bucket depth %d", depth), "ratio", v)
-	}
-	for _, sigs := range []int{1, 4} {
-		v, err := mean(func(c *sim.MemLinkConfig) { c.Chip.Cable.InsertSigs = sigs })
-		if err != nil {
-			return nil, err
-		}
-		t.Set(fmt.Sprintf("%d insert signatures", sigs), "ratio", v)
+		t.Set(v.row, "ratio", stats.Mean(vs))
 	}
 	return &Result{ID: "ablation", Table: t, Notes: []string{
 		"paper §III-D: LineIDs cut pointer overhead 57.5% vs 40-bit tags; §III-B keeps inserts at 2 signatures to limit collisions",
 	}}, nil
-}
-
-// meanWithTagPointers reruns the sweep subset on a remote geometry
-// whose LineID width is inflated to tag width by the accounting: we
-// emulate it by charging each reference 40 bits through the link layer.
-func meanWithTagPointers(opt Options, names []string) (float64, error) {
-	var vs []float64
-	for _, name := range names {
-		cfg := memLinkCfg(opt, name)
-		cfg.WithMeters = false
-		cfg.Chip.TagPointers = true
-		res, err := sim.RunMemoryLink(cfg)
-		if err != nil {
-			return 0, err
-		}
-		vs = append(vs, res.Ratio("cable"))
-	}
-	return stats.Mean(vs), nil
 }

@@ -22,22 +22,43 @@ func memLinkCfg(opt Options, benchmarks ...string) sim.MemLinkConfig {
 	return cfg
 }
 
-// runPerBenchmark runs the memory-link sim once per benchmark and
-// returns scheme ratios.
+// runPerBenchmark runs the memory-link sim once per benchmark —
+// benchmarks fan out across the cell worker pool — and returns scheme
+// ratios.
 func runPerBenchmark(opt Options, names []string) (map[string]map[string]float64, error) {
-	out := map[string]map[string]float64{}
-	for _, name := range names {
-		res, err := sim.RunMemoryLink(memLinkCfg(opt, name))
+	rows := make([]map[string]float64, len(names))
+	errs := make([]error, len(names))
+	cellRun(opt.workers(), len(names), func(i int) {
+		res, err := sim.RunMemoryLink(memLinkCfg(opt, names[i]))
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		row := map[string]float64{}
+		row := make(map[string]float64, len(memLinkSchemes))
 		for _, s := range memLinkSchemes {
 			row[s] = res.Ratio(s)
 		}
-		out[name] = row
+		rows[i] = row
+	})
+	out := make(map[string]map[string]float64, len(names))
+	for i, name := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[name] = rows[i]
 	}
 	return out, nil
+}
+
+// firstErr returns the first non-nil error in cell order, mirroring
+// the error a serial loop would have surfaced.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Fig3 reproduces the motivation plot: an ideal streaming dictionary
@@ -49,24 +70,43 @@ func Fig3(opt Options) (*Result, error) {
 		sizes = []int{128, 2 << 10, 32 << 10, 512 << 10}
 	}
 	names := benchSubset(opt, true)
-	for _, size := range sizes {
+	// One cell per (dictionary size, benchmark): each owns its own
+	// generator and stream dictionary, so all cells are independent.
+	type fig3Cell struct {
+		withPtr, noPtr, src uint64
+		err                 error
+	}
+	cells := make([]fig3Cell, len(sizes)*len(names))
+	cellRun(opt.workers(), len(cells), func(k int) {
+		size, name := sizes[k/len(names)], names[k%len(names)]
+		c := &cells[k]
+		g, err := workload.New(name, 0, 0)
+		if err != nil {
+			c.err = err
+			return
+		}
+		cs := compress.NewCPackStream(size)
+		// Compress the raw miss-stream contents: Fig 3 is a
+		// profiling study over benchmark data, pre-simulation.
+		n := accesses(opt) / 4
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			w, np := cs.CompressBits(g.LineData(a.LineAddr))
+			c.withPtr += uint64(w)
+			c.noPtr += uint64(np)
+			c.src += 512
+		}
+	})
+	for si, size := range sizes {
 		var withPtr, noPtr, src uint64
-		for _, name := range names {
-			g, err := workload.New(name, 0, 0)
-			if err != nil {
-				return nil, err
+		for ni := range names {
+			c := &cells[si*len(names)+ni]
+			if c.err != nil {
+				return nil, c.err
 			}
-			cs := compress.NewCPackStream(size)
-			// Compress the raw miss-stream contents: Fig 3 is a
-			// profiling study over benchmark data, pre-simulation.
-			n := accesses(opt) / 4
-			for i := 0; i < n; i++ {
-				a := g.Next()
-				w, np := cs.CompressBits(g.LineData(a.LineAddr))
-				withPtr += uint64(w)
-				noPtr += uint64(np)
-				src += 512
-			}
+			withPtr += c.withPtr
+			noPtr += c.noPtr
+			src += c.src
 		}
 		row := fmt.Sprintf("%dB", size)
 		if size >= 1<<20 {
@@ -124,21 +164,25 @@ func Fig11(opt Options) (*Result, error) {
 
 // Fig13 is the 4-chip coherence-link study.
 func Fig13(opt Options) (*Result, error) {
-	names := benchSubset(opt, false)
+	names := zeroDominantLast(benchSubset(opt, false))
 	schemes := []string{"bdi", "cpack", "cpack128", "lbe256", "gzip", "cable"}
 	t := stats.NewTable("Fig 13: coherence-link compression, 4-chip CMP", schemes...)
-	for _, name := range zeroDominantLast(names) {
-		cfg := sim.DefaultMultiChipConfig(name)
+	results := make([]*sim.MultiChipResult, len(names))
+	errs := make([]error, len(names))
+	cellRun(opt.workers(), len(names), func(i int) {
+		cfg := sim.DefaultMultiChipConfig(names[i])
 		cfg.Accesses = accesses(opt)
 		if opt.Quick {
 			cfg.LLCBytes = 128 << 10
 		}
-		res, err := sim.RunMultiChip(cfg)
-		if err != nil {
-			return nil, err
-		}
+		results[i], errs[i] = sim.RunMultiChip(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
 		for _, s := range schemes {
-			t.Set(name, s, res.Ratio(s))
+			t.Set(name, s, results[i].Ratio(s))
 		}
 	}
 	t.AddMeanRow("mean")
@@ -152,16 +196,25 @@ func Fig20(opt Options) (*Result, error) {
 	engines := []string{"cpack128", "gzip-seeded", "lbe", "oracle"}
 	t := stats.NewTable("Fig 20: CABLE with different engines", engines...)
 	names := sweepSubset(opt)
-	for _, name := range names {
-		for _, eng := range engines {
-			cfg := memLinkCfg(opt, name)
-			cfg.WithMeters = false
-			cfg.Chip.Cable.EngineName = eng
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(name, eng, res.Ratio("cable"))
+	ratios := make([]float64, len(names)*len(engines))
+	errs := make([]error, len(ratios))
+	cellRun(opt.workers(), len(ratios), func(k int) {
+		cfg := memLinkCfg(opt, names[k/len(engines)])
+		cfg.WithMeters = false
+		cfg.Chip.Cable.EngineName = engines[k%len(engines)]
+		res, err := sim.RunMemoryLink(cfg)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		ratios[k] = res.Ratio("cable")
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		for ei, eng := range engines {
+			t.Set(name, eng, ratios[ni*len(engines)+ei])
 		}
 	}
 	t.AddMeanRow("mean")
@@ -174,11 +227,16 @@ func Fig20(opt Options) (*Result, error) {
 func Toggles(opt Options) (*Result, error) {
 	names := benchSubset(opt, false)
 	t := stats.NewTable("§VI-D: bit-toggle reduction vs uncompressed", "cpack", "cable")
-	for _, name := range names {
-		res, err := sim.RunMemoryLink(memLinkCfg(opt, name))
-		if err != nil {
-			return nil, err
-		}
+	results := make([]*sim.MemLinkResult, len(names))
+	errs := make([]error, len(names))
+	cellRun(opt.workers(), len(names), func(i int) {
+		results[i], errs[i] = sim.RunMemoryLink(memLinkCfg(opt, names[i]))
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res := results[i]
 		base := float64(res.Toggles["none"])
 		if base == 0 {
 			continue

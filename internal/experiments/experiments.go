@@ -18,6 +18,14 @@ import (
 // tests and benches); full mode is for cmd/cablereport.
 type Options struct {
 	Quick bool
+
+	// Parallelism bounds the worker pool used both across experiments
+	// (RunAll/RunAllStream) and across independent cells inside a
+	// driver (per-benchmark, per-sweep-point). Zero or negative means
+	// runtime.GOMAXPROCS(0). Results are bit-identical at any setting:
+	// every cell seeds its own generators and tables are filled in
+	// loop order after collection.
+	Parallelism int
 }
 
 // Result is one regenerated table/figure.

@@ -20,15 +20,21 @@ func Fig15(opt Options) (*Result, error) {
 		// subset plus the paper's named callouts (gcc and namd).
 		names = append(sweepSubset(opt), "namd")
 	}
-	for _, name := range names {
-		single, err := sim.RunMemoryLink(memLinkCfg(opt, name))
-		if err != nil {
-			return nil, err
+	runs := make([]*sim.MemLinkResult, len(names)*2)
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(k int) {
+		name := names[k/2]
+		if k%2 == 0 {
+			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, name))
+		} else {
+			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, name, name, name, name))
 		}
-		multi, err := sim.RunMemoryLink(memLinkCfg(opt, name, name, name, name))
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		single, multi := runs[2*ni], runs[2*ni+1]
 		t.Set(name, "gzip-single", single.Ratio("gzip"))
 		t.Set(name, "gzip-multi4", multi.Ratio("gzip"))
 		t.Set(name, "cable-single", single.Ratio("cable"))
@@ -53,32 +59,41 @@ func Fig16(opt Options) (*Result, error) {
 	if opt.Quick {
 		mixes = mixes[:3]
 	}
-	// Cache single-run ratios per benchmark.
-	singles := map[string]map[string]float64{}
-	ensureSingle := func(name string) error {
-		if _, ok := singles[name]; ok {
-			return nil
-		}
-		res, err := sim.RunMemoryLink(memLinkCfg(opt, name))
-		if err != nil {
-			return err
-		}
-		singles[name] = map[string]float64{
-			"gzip":  res.Ratio("gzip"),
-			"cable": res.Ratio("cable"),
-		}
-		return nil
-	}
-	for i, mix := range mixes {
+	// Single-run ratios per unique benchmark and the mix runs are all
+	// independent: fan them out as one flat cell grid (uniques first,
+	// then one cell per mix).
+	var uniques []string
+	seen := map[string]bool{}
+	for _, mix := range mixes {
 		for _, name := range mix {
-			if err := ensureSingle(name); err != nil {
-				return nil, err
+			if !seen[name] {
+				seen[name] = true
+				uniques = append(uniques, name)
 			}
 		}
-		res, err := sim.RunMemoryLink(memLinkCfg(opt, mix[0], mix[1], mix[2], mix[3]))
-		if err != nil {
-			return nil, err
+	}
+	runs := make([]*sim.MemLinkResult, len(uniques)+len(mixes))
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(k int) {
+		if k < len(uniques) {
+			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, uniques[k]))
+		} else {
+			mix := mixes[k-len(uniques)]
+			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, mix[0], mix[1], mix[2], mix[3]))
 		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	singles := map[string]map[string]float64{}
+	for k, name := range uniques {
+		singles[name] = map[string]float64{
+			"gzip":  runs[k].Ratio("gzip"),
+			"cable": runs[k].Ratio("cable"),
+		}
+	}
+	for i, mix := range mixes {
+		res := runs[len(uniques)+i]
 		for _, scheme := range []string{"gzip", "cable"} {
 			var rel float64
 			per := res.PerProgram[scheme]

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCellRun(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		var hits [37]int32
+		var concurrent, peak int32
+		cellRun(workers, len(hits), func(i int) {
+			c := atomic.AddInt32(&concurrent, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			atomic.AddInt32(&hits[i], 1)
+			atomic.AddInt32(&concurrent, -1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, h)
+			}
+		}
+		if workers > 1 && int(peak) > workers {
+			t.Fatalf("workers=%d: observed %d concurrent cells", workers, peak)
+		}
+	}
+	cellRun(4, 0, func(int) { t.Fatal("fn called with n=0") })
+}
+
+func TestRunAllStreamOrder(t *testing.T) {
+	// Paper-order delivery with a deliberately unfair worker pool: the
+	// cheap experiment (tab3) finishes long before the expensive one,
+	// but must still arrive in ids order.
+	ids := []string{"fig21", "tab3"}
+	opt := Options{Quick: true, Parallelism: 4}
+	var got []string
+	for sr := range RunAllStream(ids, opt) {
+		if sr.Err != nil {
+			t.Fatalf("%s: %v", sr.ID, sr.Err)
+		}
+		if sr.Elapsed <= 0 {
+			t.Errorf("%s: non-positive elapsed %v", sr.ID, sr.Elapsed)
+		}
+		got = append(got, sr.ID)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("stream order %v, want %v", got, ids)
+		}
+	}
+}
+
+func TestRunAllErrors(t *testing.T) {
+	results, err := RunAll([]string{"tab3", "nope"}, Options{Quick: true, Parallelism: 2})
+	if err == nil {
+		t.Fatal("unknown id should surface an error")
+	}
+	if results[0] == nil {
+		t.Error("healthy experiment should still produce a result")
+	}
+	if results[1] != nil {
+		t.Error("failed experiment should have a nil result")
+	}
+}
+
+// TestParallelDeterminism is the ISSUE's acceptance gate: a driver run
+// with a parallel worker pool must render byte-identical tables to a
+// serial run — every cell seeds its own generators and rows are
+// committed in loop order, so parallelism must be unobservable.
+// fig11 covers the memory-link path, fig13 the multi-chip path.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig11", "fig13"} {
+		serial, err := Run(id, Options{Quick: true, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		parallel, err := Run(id, Options{Quick: true, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if s, p := serial.Table.String(), parallel.Table.String(); s != p {
+			t.Errorf("%s: parallel table differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+}

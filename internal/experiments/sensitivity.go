@@ -7,6 +7,19 @@ import (
 	"cable/internal/stats"
 )
 
+// sweepCells fans a (sweep point × benchmark) grid out across the cell
+// worker pool: one memory-link run per cell, results slot-indexed as
+// point*len(names)+nameIdx so callers aggregate serially in loop order.
+func sweepCells(opt Options, points int, names []string,
+	run func(point int, name string) (*sim.MemLinkResult, error)) ([]*sim.MemLinkResult, []error) {
+	results := make([]*sim.MemLinkResult, points*len(names))
+	errs := make([]error, len(results))
+	cellRun(opt.workers(), len(results), func(k int) {
+		results[k], errs[k] = run(k/len(names), names[k%len(names)])
+	})
+	return results, errs
+}
+
 // Fig19a sweeps the per-thread LLC allocation (1:4 LLC:L4 kept).
 func Fig19a(opt Options) (*Result, error) {
 	sizes := []int{128 << 10, 512 << 10, 2 << 20, 8 << 20}
@@ -15,16 +28,19 @@ func Fig19a(opt Options) (*Result, error) {
 	}
 	t := stats.NewTable("Fig 19a: compression vs LLC size", "cpack", "gzip", "cable")
 	names := sweepSubset(opt)
-	for _, size := range sizes {
+	results, errs := sweepCells(opt, len(sizes), names, func(si int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.Chip.LLCBytes = sizes[si]
+		cfg.Chip.L4Bytes = sizes[si] * 4
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for si, size := range sizes {
 		agg := map[string][]float64{}
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.Chip.LLCBytes = size
-			cfg.Chip.L4Bytes = size * 4
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for ni := range names {
+			res := results[si*len(names)+ni]
 			for _, s := range []string{"cpack", "gzip", "cable"} {
 				agg[s] = append(agg[s], res.Ratio(s))
 			}
@@ -48,15 +64,18 @@ func Fig19b(opt Options) (*Result, error) {
 	ratios := []int{2, 4, 8}
 	t := stats.NewTable("Fig 19b: compression vs LLC:L4 ratio", "cpack", "gzip", "cable")
 	names := sweepSubset(opt)
-	for _, r := range ratios {
+	results, errs := sweepCells(opt, len(ratios), names, func(ri int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.Chip.L4Bytes = cfg.Chip.LLCBytes * ratios[ri]
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ri, r := range ratios {
 		agg := map[string][]float64{}
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.Chip.L4Bytes = cfg.Chip.LLCBytes * r
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
+		for ni := range names {
+			res := results[ri*len(names)+ni]
 			for _, s := range []string{"cpack", "gzip", "cable"} {
 				agg[s] = append(agg[s], res.Ratio(s))
 			}
@@ -79,18 +98,20 @@ func Fig21(opt Options) (*Result, error) {
 	}
 	names := sweepSubset(opt)
 	t := stats.NewTable("Fig 21: compression vs hash table size (relative to 2x)", "relative")
+	results, errs := sweepCells(opt, len(factors), names, func(fi int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.WithMeters = false
+		cfg.Chip.Cable.HashSizeFactor = factors[fi]
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	var base float64
-	for _, f := range factors {
+	for fi, f := range factors {
 		var vs []float64
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.WithMeters = false
-			cfg.Chip.Cable.HashSizeFactor = f
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
-			vs = append(vs, res.Ratio("cable"))
+		for ni := range names {
+			vs = append(vs, results[fi*len(names)+ni].Ratio("cable"))
 		}
 		m := stats.Mean(vs)
 		if base == 0 {
@@ -112,18 +133,20 @@ func Fig22(opt Options) (*Result, error) {
 	}
 	names := sweepSubset(opt)
 	t := stats.NewTable("Fig 22: compression vs data access count (relative to 64)", "relative")
+	results, errs := sweepCells(opt, len(counts), names, func(ci int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.WithMeters = false
+		cfg.Chip.Cable.AccessCount = counts[ci]
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	means := map[int]float64{}
-	for _, n := range counts {
+	for ci, n := range counts {
 		var vs []float64
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.WithMeters = false
-			cfg.Chip.Cable.AccessCount = n
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
-			vs = append(vs, res.Ratio("cable"))
+		for ni := range names {
+			vs = append(vs, results[ci*len(names)+ni].Ratio("cable"))
 		}
 		means[n] = stats.Mean(vs)
 	}
@@ -152,18 +175,20 @@ func Fig23(opt Options) (*Result, error) {
 	}
 	names := append(sweepSubset(opt), "mcf", "lbm")
 	t := stats.NewTable("Fig 23: effective compression vs link width", "cable")
-	for _, v := range variants {
+	results, errs := sweepCells(opt, len(variants), names, func(vi int, name string) (*sim.MemLinkResult, error) {
+		cfg := memLinkCfg(opt, name)
+		cfg.WithMeters = false
+		cfg.Chip.Link.WidthBits = variants[vi].width
+		cfg.Chip.Link.Packed = variants[vi].packed
+		return sim.RunMemoryLink(cfg)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var vs []float64
-		for _, name := range names {
-			cfg := memLinkCfg(opt, name)
-			cfg.WithMeters = false
-			cfg.Chip.Link.WidthBits = v.width
-			cfg.Chip.Link.Packed = v.packed
-			res, err := sim.RunMemoryLink(cfg)
-			if err != nil {
-				return nil, err
-			}
-			vs = append(vs, res.Ratio("cable"))
+		for ni := range names {
+			vs = append(vs, results[vi*len(names)+ni].Ratio("cable"))
 		}
 		t.Set(v.name, "cable", stats.Mean(vs))
 	}

@@ -27,20 +27,25 @@ func timingCfg(opt Options, scheme, bench string, totalTh int) sim.TimingConfig 
 	return cfg
 }
 
-// speedupSet runs the uncompressed baseline once, then each scheme,
-// returning throughput ratios.
+// speedupSet runs the uncompressed baseline and each scheme — all
+// independent timing runs, fanned across the cell pool — returning
+// throughput ratios.
 func speedupSet(opt Options, schemes []string, bench string, totalTh int) (map[string]float64, error) {
-	base, err := sim.RunTiming(timingCfg(opt, "none", bench, totalTh))
-	if err != nil {
+	runs := make([]*sim.TimingResult, len(schemes)+1)
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(i int) {
+		scheme := "none"
+		if i > 0 {
+			scheme = schemes[i-1]
+		}
+		runs[i], errs[i] = sim.RunTiming(timingCfg(opt, scheme, bench, totalTh))
+	})
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
 	out := make(map[string]float64, len(schemes))
-	for _, s := range schemes {
-		res, err := sim.RunTiming(timingCfg(opt, s, bench, totalTh))
-		if err != nil {
-			return nil, err
-		}
-		out[s] = res.Throughput / base.Throughput
+	for i, s := range schemes {
+		out[s] = runs[i+1].Throughput / runs[0].Throughput
 	}
 	return out, nil
 }
@@ -53,12 +58,16 @@ func Fig14a(opt Options) (*Result, error) {
 	if opt.Quick {
 		names = []string{"mcf", "lbm", "omnetpp", "soplex", "gobmk", "povray"}
 	}
-	for _, name := range names {
-		set, err := speedupSet(opt, schemes, name, 2048)
-		if err != nil {
-			return nil, err
-		}
-		for s, v := range set {
+	sets := make([]map[string]float64, len(names))
+	errs := make([]error, len(names))
+	cellRun(opt.workers(), len(names), func(i int) {
+		sets[i], errs[i] = speedupSet(opt, schemes, names[i], 2048)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		for s, v := range sets[i] {
 			t.Set(name, s, v)
 		}
 	}
@@ -79,14 +88,18 @@ func Fig14b(opt Options) (*Result, error) {
 		names = names[:3]
 	}
 	t := stats.NewTable("Fig 14b: mean speedup vs thread count", schemes...)
-	for _, n := range counts {
+	sets := make([]map[string]float64, len(counts)*len(names))
+	errs := make([]error, len(sets))
+	cellRun(opt.workers(), len(sets), func(k int) {
+		sets[k], errs[k] = speedupSet(opt, schemes, names[k%len(names)], counts[k/len(names)])
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ci, n := range counts {
 		agg := map[string][]float64{}
-		for _, name := range names {
-			set, err := speedupSet(opt, schemes, name, n)
-			if err != nil {
-				return nil, err
-			}
-			for s, v := range set {
+		for ni := range names {
+			for s, v := range sets[ci*len(names)+ni] {
 				agg[s] = append(agg[s], v)
 			}
 		}
@@ -118,16 +131,19 @@ func Fig17(opt Options) (*Result, error) {
 	if opt.Quick {
 		names = []string{"mcf", "omnetpp", "soplex", "gcc", "povray"}
 	}
-	for _, name := range names {
-		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range schemes {
-			res, err := sim.RunTiming(singleThreadCfg(opt, s, name))
-			if err != nil {
-				return nil, err
-			}
+	all := append([]string{"none"}, schemes...)
+	runs := make([]*sim.TimingResult, len(names)*len(all))
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(k int) {
+		runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, all[k%len(all)], names[k/len(all)]))
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		base := runs[ni*len(all)]
+		for si, s := range schemes {
+			res := runs[ni*len(all)+si+1]
 			t.Set(name, s, 1-res.IPCPerThread/base.IPCPerThread)
 		}
 	}
@@ -147,15 +163,20 @@ func Fig18(opt Options) (*Result, error) {
 		names = []string{"mcf", "omnetpp", "soplex", "gobmk"}
 	}
 	p := energy.Default()
-	for _, name := range names {
-		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
-		if err != nil {
-			return nil, err
+	runs := make([]*sim.TimingResult, len(names)*2)
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(k int) {
+		scheme := "none"
+		if k%2 == 1 {
+			scheme = "cable"
 		}
-		cable, err := sim.RunTiming(singleThreadCfg(opt, "cable", name))
-		if err != nil {
-			return nil, err
-		}
+		runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, scheme, names[k/2]))
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		base, cable := runs[2*ni], runs[2*ni+1]
 		toCounts := func(r *sim.TimingResult) energy.Counts {
 			return energy.Counts{
 				Seconds:     r.Seconds,
@@ -194,21 +215,26 @@ func OnOff(opt Options) (*Result, error) {
 	if opt.Quick {
 		names = names[:2]
 	}
-	for _, name := range names {
-		base, err := sim.RunTiming(singleThreadCfg(opt, "none", name))
-		if err != nil {
-			return nil, err
+	runs := make([]*sim.TimingResult, len(names)*3)
+	errs := make([]error, len(runs))
+	cellRun(opt.workers(), len(runs), func(k int) {
+		name := names[k/3]
+		switch k % 3 {
+		case 0:
+			runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, "none", name))
+		case 1:
+			runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, "cable", name))
+		case 2:
+			acfg := singleThreadCfg(opt, "cable", name)
+			acfg.OnOff = true
+			runs[k], errs[k] = sim.RunTiming(acfg)
 		}
-		always, err := sim.RunTiming(singleThreadCfg(opt, "cable", name))
-		if err != nil {
-			return nil, err
-		}
-		acfg := singleThreadCfg(opt, "cable", name)
-		acfg.OnOff = true
-		adaptive, err := sim.RunTiming(acfg)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		base, always, adaptive := runs[3*ni], runs[3*ni+1], runs[3*ni+2]
 		t.Set(name, "always-on-loss", 1-always.IPCPerThread/base.IPCPerThread)
 		t.Set(name, "adaptive-loss", 1-adaptive.IPCPerThread/base.IPCPerThread)
 		t.Set(name, "off-windows", float64(adaptive.OffWindows))

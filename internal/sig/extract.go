@@ -90,39 +90,59 @@ func advance(line []byte, start int) int {
 // line is inserted into the hash table. Each default offset is moved
 // forward past trivial words; duplicate signatures collapse.
 func (e *Extractor) InsertSignatures(line []byte) []Signature {
-	sigs := make([]Signature, 0, len(e.insertOffsets))
+	return e.AppendInsertSignatures(make([]Signature, 0, len(e.insertOffsets)), line)
+}
+
+// AppendInsertSignatures is the allocation-free form of
+// InsertSignatures: it appends to dst (typically a reused per-end
+// scratch buffer) and returns the extended slice.
+func (e *Extractor) AppendInsertSignatures(dst []Signature, line []byte) []Signature {
+	start := len(dst)
 	for _, base := range e.insertOffsets {
 		off := advance(line, base)
 		if off < 0 {
 			continue
 		}
 		s := e.hashWord(Word(line, off))
-		if len(sigs) == 0 || sigs[len(sigs)-1] != s {
-			sigs = append(sigs, s)
+		if len(dst) == start || dst[len(dst)-1] != s {
+			dst = append(dst, s)
 		}
 	}
-	return sigs
+	return dst
 }
 
 // SearchSignatures extracts every distinct non-trivial word signature in
 // the line, up to max (the paper uses 16 for 64-byte lines, §III-C).
 // A zero-filled line yields none.
 func (e *Extractor) SearchSignatures(line []byte, max int) []Signature {
-	sigs := make([]Signature, 0, max)
-	seen := make(map[Signature]struct{}, max)
-	for off := 0; off+WordSize <= len(line) && len(sigs) < max; off += WordSize {
+	return e.AppendSearchSignatures(make([]Signature, 0, max), line, max)
+}
+
+// AppendSearchSignatures is the allocation-free form of
+// SearchSignatures: it appends at most max distinct signatures to dst
+// and returns the extended slice. Deduplication is a linear scan over
+// the appended region — max is small (16 in the paper), so this beats
+// a map and allocates nothing.
+func (e *Extractor) AppendSearchSignatures(dst []Signature, line []byte, max int) []Signature {
+	start := len(dst)
+	for off := 0; off+WordSize <= len(line) && len(dst)-start < max; off += WordSize {
 		w := Word(line, off)
 		if IsTrivial(w) {
 			continue
 		}
 		s := e.hashWord(w)
-		if _, dup := seen[s]; dup {
-			continue
+		dup := false
+		for _, prev := range dst[start:] {
+			if prev == s {
+				dup = true
+				break
+			}
 		}
-		seen[s] = struct{}{}
-		sigs = append(sigs, s)
+		if !dup {
+			dst = append(dst, s)
+		}
 	}
-	return sigs
+	return dst
 }
 
 // NonTrivialWords counts non-trivial 32-bit words in the line; the
