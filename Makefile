@@ -9,12 +9,17 @@ build:
 test:
 	go test ./...
 
-# check is the pre-merge gate: vet plus the full suite under the race
-# detector. The parallel execution layer (internal/experiments/runner.go)
-# is exercised concurrently by the runner tests, so this catches data
-# races in drivers and the core encode path.
+# check is the pre-merge gate: formatting, vet, a race-detector hammer
+# on the metrics registry, a one-iteration bench smoke, then the full
+# suite under the race detector. The parallel execution layer
+# (internal/experiments/runner.go) is exercised concurrently by the
+# runner tests, so this catches data races in drivers and the core
+# encode path.
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	go vet ./...
+	go test -race -count=2 ./internal/obs
+	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -race -timeout 45m ./...
 
 # bench runs the hot-path microbenchmarks in benchstat-friendly form

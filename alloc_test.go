@@ -1,0 +1,34 @@
+package cable_test
+
+import (
+	"testing"
+
+	"cable"
+)
+
+// TestEncodeFillAllocs pins the steady-state encode path at zero
+// allocations per line — with the metrics registry enabled, since the
+// counters are always on. BenchmarkEncodeFill reports the same number,
+// but a -benchmem reading is advisory; this test makes regressions
+// fail `go test ./...`.
+func TestEncodeFillAllocs(t *testing.T) {
+	chip, addrs := warmChip(t)
+	ways := chip.LLC.Config().Ways
+	// A few warm-up rounds first: lazily grown scratch buffers (ranker
+	// slices, compressor dictionaries) are allowed to size themselves
+	// before the measured window.
+	var i int
+	encodeSome := func() {
+		for n := 0; n < 256; n++ {
+			addr := addrs[i%len(addrs)]
+			if _, _, err := chip.Home.EncodeFill(addr, cable.Shared, i%ways); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	encodeSome()
+	if avg := testing.AllocsPerRun(8, encodeSome); avg != 0 {
+		t.Fatalf("EncodeFill allocated %.2f times per 256 lines; the hot path must stay allocation-free", avg)
+	}
+}

@@ -180,8 +180,9 @@ func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0
 
 // warmChip builds a memory-link chip and drives it to steady state, so
 // the encode-path benchmarks below measure warm-structure behavior.
-func warmChip(b *testing.B) (*sim.Chip, []uint64) {
-	b.Helper()
+// It takes testing.TB so the alloc-guard test shares the setup.
+func warmChip(tb testing.TB) (*sim.Chip, []uint64) {
+	tb.Helper()
 	cfg := cable.DefaultMemoryLinkConfig("dealII")
 	cfg.AccessesPerProgram = 4000
 	cfg.WithMeters = false
@@ -189,7 +190,7 @@ func warmChip(b *testing.B) (*sim.Chip, []uint64) {
 	cfg.Chip.L4Bytes = 1 << 20
 	res, err := cable.RunMemoryLink(cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	chip := res.Chip
 	var addrs []uint64
@@ -201,7 +202,7 @@ func warmChip(b *testing.B) (*sim.Chip, []uint64) {
 		}
 	}
 	if len(addrs) == 0 {
-		b.Fatal("warm chip has empty L4")
+		tb.Fatal("warm chip has empty L4")
 	}
 	return chip, addrs
 }

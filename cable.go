@@ -28,11 +28,15 @@
 package cable
 
 import (
+	"io"
+	"net/http"
+
 	"cable/internal/cache"
 	"cable/internal/compress"
 	"cable/internal/core"
 	"cable/internal/experiments"
 	"cable/internal/link"
+	"cable/internal/obs"
 	"cable/internal/sim"
 	"cable/internal/workload"
 )
@@ -254,3 +258,36 @@ func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentResult, e
 func StreamExperiments(ids []string, opt ExperimentOptions) <-chan ExperimentStream {
 	return experiments.RunAllStream(ids, opt)
 }
+
+// EncodeTracer records per-encode decisions on a home end: exact class
+// counts plus a sampled ring of recent records. Attach one via
+// MemoryLinkConfig.Trace or HomeEnd.SetTracer.
+type EncodeTracer = obs.Tracer
+
+// NewEncodeTracer builds a tracer keeping capacity records, recording
+// every sample-th encode into the ring (aggregates count everything).
+func NewEncodeTracer(capacity, sample int) *EncodeTracer {
+	return obs.NewTracer(capacity, sample)
+}
+
+// WriteMetrics dumps the global metrics registry as indented JSON.
+// With includeVolatile false the dump is deterministic: timing and
+// concurrency metrics are excluded, so two runs of the same workload
+// produce byte-identical output at any parallelism.
+func WriteMetrics(w io.Writer, includeVolatile bool) error {
+	return obs.Default().WriteJSON(w, includeVolatile)
+}
+
+// WriteMetricsFile writes the WriteMetrics dump to a file.
+func WriteMetricsFile(path string, includeVolatile bool) error {
+	return obs.Default().WriteJSONFile(path, includeVolatile)
+}
+
+// ResetMetrics zeroes every metric in the global registry (metric
+// identities survive, so held counter handles keep working).
+func ResetMetrics() { obs.Default().Reset() }
+
+// MetricsHandler serves the live registry over HTTP: /metrics (JSON),
+// /metrics.txt, and the standard /debug/pprof endpoints. Backs the
+// cablesim -http flag.
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default()) }

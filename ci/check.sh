@@ -1,14 +1,32 @@
 #!/bin/sh
-# CI gate: vet + full test suite under the race detector, then a smoke
-# run of the report CLI at reduced scale with a parallel worker pool.
-# Mirrors `make check`; kept as a script so CI systems without make can
-# call it directly.
+# CI gate: formatting, vet, the observability package under a tight
+# race loop, a one-iteration bench smoke (compiles and runs every
+# benchmark body, including the 0 allocs/op encode path), the full test
+# suite under the race detector, then a smoke run of the report CLI at
+# reduced scale with a parallel worker pool. Mirrors `make check`; kept
+# as a script so CI systems without make can call it directly.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
 echo "== go vet"
 go vet ./...
+
+echo "== obs race loop"
+# The metrics registry is the one structure every goroutine touches;
+# hammer it separately (twice, fast) before the long full-suite run.
+go test -race -count=2 ./internal/obs
+
+echo "== bench smoke (1 iteration)"
+go test -run=NOTHING -bench=. -benchtime=1x .
 
 echo "== go test -race"
 # The race detector is ~5x CPU; the experiment drivers need more than

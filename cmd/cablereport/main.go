@@ -8,6 +8,8 @@
 //	cablereport -quick       # reduced scale
 //	cablereport -o out.md    # write to a file
 //	cablereport -parallel 8  # bound the worker pool (default GOMAXPROCS)
+//	cablereport -breakdown   # only the encoding-class coverage table
+//	cablereport -metrics m.json  # dump the metrics registry after the run
 //
 // Experiments run concurrently but the report streams in paper order:
 // each section is written as soon as it and everything before it have
@@ -31,6 +33,8 @@ func main() {
 	only := flag.String("exp", "", "single experiment id to run")
 	charts := flag.Bool("charts", false, "render ASCII bar charts under each table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within experiments")
+	breakdown := flag.Bool("breakdown", false, "run only the encoding-class coverage table")
+	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -45,6 +49,9 @@ func main() {
 	}
 
 	ids := cable.Experiments()
+	if *breakdown {
+		ids = []string{"breakdown"}
+	}
 	if *only != "" {
 		ids = []string{*only}
 	}
@@ -73,4 +80,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total %d experiments, %.1fs wall clock (parallel=%d)\n",
 		len(ids), time.Since(total).Seconds(), *parallel)
+	if *metrics != "" {
+		if err := cable.WriteMetricsFile(*metrics, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

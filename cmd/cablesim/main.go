@@ -6,12 +6,15 @@
 //	cablesim -exp fig12            # full-scale run
 //	cablesim -exp fig14a -quick    # reduced scale (seconds)
 //	cablesim -exp fig21 -parallel 8  # bound the per-cell worker pool
+//	cablesim -exp fig12 -metrics m.json  # dump the metrics registry after the run
+//	cablesim -exp fig12 -http :6060      # live /metrics and /debug/pprof during the run
 //	cablesim -list                 # list experiment ids
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 
@@ -23,7 +26,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	list := flag.Bool("list", false, "list experiment ids")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the driver's independent cells")
+	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
+	httpAddr := flag.String("http", "", "serve live /metrics and /debug/pprof on this address while running")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, cable.MetricsHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "cablesim: -http: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range cable.Experiments() {
@@ -43,5 +56,11 @@ func main() {
 	fmt.Println(res.Table)
 	for _, n := range res.Notes {
 		fmt.Printf("note: %s\n", n)
+	}
+	if *metrics != "" {
+		if err := cable.WriteMetricsFile(*metrics, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cable/internal/trace"
+	"cable/internal/workload"
+)
+
+// TestRecordReplay drives the tool's record path and replays the file:
+// the trace must reproduce the generator's access stream exactly.
+func TestRecordReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mcf.trace")
+	const n = 500
+	if err := record("mcf", n, path); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Header(); h.Benchmark != "mcf" {
+		t.Fatalf("header = %+v", h)
+	}
+	ref, err := workload.New("mcf", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want := ref.Next(); got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestSummarizeSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gcc.trace")
+	if err := record("gcc", 200, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestProfileSmoke(t *testing.T) {
+	if err := profileBench("dealII", 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := profileBench("no-such-bench", 10); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cable/internal/bits"
+	"cable/internal/obs"
 )
 
 // Encoded is a compressed block: a bit stream plus its exact length.
@@ -60,6 +61,9 @@ type Scratch struct {
 	w    bits.Writer
 	dict []uint32
 	src  []uint32
+
+	shard    uint32 // metrics shard, drawn lazily (zero value is valid)
+	hasShard bool
 }
 
 // ScratchEngine is implemented by engines offering an allocation-free
@@ -75,10 +79,23 @@ type ScratchEngine interface {
 // one, falling back to the allocating Compress. Passing a nil Scratch
 // always falls back.
 func CompressWith(e Engine, s *Scratch, line []byte, refs [][]byte) Encoded {
+	var enc Encoded
 	if se, ok := e.(ScratchEngine); ok && s != nil {
-		return se.CompressScratch(s, line, refs)
+		enc = se.CompressScratch(s, line, refs)
+	} else {
+		enc = e.Compress(line, refs)
 	}
-	return e.Compress(line, refs)
+	mx := compressMetrics()
+	var shard uint32
+	if s != nil {
+		if !s.hasShard {
+			s.shard, s.hasShard = obs.NextShard(), true
+		}
+		shard = s.shard
+	}
+	mx.ops.Inc(shard)
+	mx.outBits.Add(shard, uint64(enc.NBits))
+	return enc
 }
 
 // Words reinterprets a line as little-endian 32-bit words.

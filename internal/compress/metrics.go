@@ -1,0 +1,32 @@
+package compress
+
+import (
+	"sync"
+
+	"cable/internal/obs"
+)
+
+// compressCounters aggregates engine invocations process-wide. Each
+// Scratch lazily draws its own shard the first time it flows through
+// CompressWith, so concurrent experiment cells do not contend on one
+// cache line; scratch-less callers fall back to shard 0.
+type compressCounters struct {
+	ops     *obs.Counter
+	outBits *obs.Counter
+}
+
+var (
+	compressCountersOnce   sync.Once
+	sharedCompressCounters compressCounters
+)
+
+func compressMetrics() *compressCounters {
+	compressCountersOnce.Do(func() {
+		r := obs.Default()
+		sharedCompressCounters = compressCounters{
+			ops:     r.Counter("compress.ops"),
+			outBits: r.Counter("compress.out_bits"),
+		}
+	})
+	return &sharedCompressCounters
+}

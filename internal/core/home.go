@@ -5,6 +5,7 @@ import (
 
 	"cable/internal/cache"
 	"cable/internal/compress"
+	"cable/internal/obs"
 	"cable/internal/sig"
 )
 
@@ -27,6 +28,22 @@ type HomeEnd struct {
 	lineSize      int
 
 	scr encScratch
+
+	// mx/shard feed the process-wide metrics registry: the counter
+	// block is shared, the shard (a padded cache line per counter) is
+	// private to this end, so hot-path increments never contend.
+	mx    *homeCounters
+	shard uint32
+
+	// tr is the optional decision-trace hook (nil = disabled, one
+	// pointer check on the encode path).
+	tr *obs.Tracer
+
+	// lastSigs/lastCands/lastSkip describe the most recent encode's
+	// search, for the trace record.
+	lastSigs  int
+	lastCands int
+	lastSkip  bool
 
 	// AckSeq is the highest remote EvictSeq this end has processed;
 	// it is echoed in responses (§IV-A).
@@ -108,8 +125,16 @@ func NewHomeEndWithWayMap(cfg Config, home, remote *cache.Cache, wm WayMap) (*Ho
 		remoteWayBits: remote.WayBits(),
 		lineSize:      home.Config().LineSize,
 	}
+	h.mx, h.shard = homeMetrics()
 	return h, nil
 }
+
+// SetTracer attaches (or, with nil, detaches) the sampled decision
+// tracer. The disabled path is a single pointer check per encode.
+func (h *HomeEnd) SetTracer(t *obs.Tracer) { h.tr = t }
+
+// Tracer returns the attached decision tracer, if any.
+func (h *HomeEnd) Tracer() *obs.Tracer { return h.tr }
 
 // RemoteLIDBits is the transmitted pointer width (Table III), or the
 // configured override for the tag-pointer ablation.
@@ -189,6 +214,8 @@ func (h *HomeEnd) EncodeFillData(lineAddr uint64, data []byte, state cache.State
 func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State, replWay int) (Payload, FillLatency) {
 	h.Stats.Fills++
 	h.Stats.SourceBits += uint64(len(data) * 8)
+	h.mx.fills.Inc(h.shard)
+	h.mx.sourceBits.Add(h.shard, uint64(len(data)*8))
 
 	payload, lat := h.encode(data)
 
@@ -205,9 +232,35 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 		}
 	}
 	payload.AckSeq = h.AckSeq
-	h.Stats.PayloadBits += uint64(payload.Bits(h.RemoteLIDBits()))
+	pbits := payload.Bits(h.RemoteLIDBits())
+	h.Stats.PayloadBits += uint64(pbits)
+	h.mx.payloadBits.Add(h.shard, uint64(pbits))
+	h.mx.payloadDist.Observe(uint64(pbits))
 	h.recordOutcome(payload)
+	if h.tr != nil {
+		h.tr.Record(obs.EncodeRecord{
+			LineAddr:      lineAddr,
+			Class:         payloadClass(payload),
+			Refs:          uint8(len(payload.Refs)),
+			SigsSearched:  uint8(h.lastSigs),
+			Candidates:    uint8(h.lastCands),
+			ThresholdSkip: h.lastSkip,
+			PayloadBits:   uint32(pbits),
+		})
+	}
 	return payload, lat
+}
+
+// payloadClass maps a winning payload to its encoding class.
+func payloadClass(p Payload) obs.EncodeClass {
+	switch {
+	case !p.Compressed:
+		return obs.ClassRaw
+	case len(p.Refs) == 0:
+		return obs.ClassStandalone
+	default:
+		return obs.DiffClass(len(p.Refs))
+	}
 }
 
 // encode runs the §III-C/§III-E pipeline on one line: concurrent
@@ -219,6 +272,7 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 // next encode on the same end; callers that retain one must Clone it.
 // The simulators and link drivers all consume payloads immediately.
 func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
+	h.lastSigs, h.lastCands, h.lastSkip = 0, 0, false
 	scr := &h.scr
 	standalone := compress.CompressWith(h.engine, &scr.standalone, data, nil)
 	rawBits := flagBits + len(data)*8
@@ -234,14 +288,20 @@ func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
 
 	if compress.Ratio(len(data), standalone.NBits) >= h.cfg.StandaloneThreshold {
 		h.Stats.ThresholdSkips++
+		h.mx.thresholdSkips.Inc(h.shard)
+		h.lastSkip = true
 		return best, lat
 	}
 
 	scr.searchSigs = h.ex.AppendSearchSignatures(scr.searchSigs[:0], data, h.cfg.MaxSearchSigs)
 	sigs := scr.searchSigs
 	h.Stats.SigsSearched += uint64(len(sigs))
+	h.lastSigs = len(sigs)
+	h.mx.sigsSearched.Add(h.shard, uint64(len(sigs)))
+	h.mx.htProbes.Add(h.shard, uint64(len(sigs)))
 	lat.SearchCycles = searchLatency(len(sigs))
 	cands := h.gatherCandidates(data, sigs)
+	h.lastCands = len(cands)
 	scr.refs = scr.pick.pick(cands, h.cfg.MaxRefs, scr.refs[:0])
 	if refs := scr.refs; len(refs) > 0 {
 		scr.refData = scr.refData[:0]
@@ -270,6 +330,7 @@ func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidat
 	cands := scr.cands[:0]
 	for _, s := range sigs {
 		scr.lookup = h.ht.Lookup(s, scr.lookup[:0])
+		h.mx.htHits.Add(h.shard, uint64(len(scr.lookup)))
 	next:
 		for _, id := range scr.lookup {
 			for i := range cands {
@@ -288,10 +349,13 @@ func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidat
 	for _, c := range cands {
 		remoteID, resident := h.wmt.Lookup(c.homeID)
 		if !resident {
+			h.mx.wmtMisses.Inc(h.shard)
 			continue
 		}
+		h.mx.wmtHits.Inc(h.shard)
 		ref := h.home.ReadByID(c.homeID)
 		h.Stats.CandidatesRead++
+		h.mx.candidatesRead.Inc(h.shard)
 		if ref == nil {
 			continue
 		}
@@ -310,9 +374,12 @@ func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidat
 // reused signature scratch.
 func (h *HomeEnd) insertLine(data []byte, id cache.LineID) {
 	h.scr.insertSigs = h.ex.AppendInsertSignatures(h.scr.insertSigs[:0], data)
+	collisionsBefore := h.ht.Collisions
 	for _, s := range h.scr.insertSigs {
 		h.ht.Insert(s, id)
 	}
+	h.mx.htInserts.Add(h.shard, uint64(len(h.scr.insertSigs)))
+	h.mx.htCollisions.Add(h.shard, h.ht.Collisions-collisionsBefore)
 }
 
 // removeLine scrubs data's insert-signatures for id through the reused
@@ -322,6 +389,7 @@ func (h *HomeEnd) removeLine(data []byte, id cache.LineID) {
 	for _, s := range h.scr.insertSigs {
 		h.ht.Remove(s, id)
 	}
+	h.mx.htRemoves.Add(h.shard, uint64(len(h.scr.insertSigs)))
 }
 
 // noteDisplacement handles the implicit eviction conveyed by the
@@ -341,13 +409,17 @@ func (h *HomeEnd) recordOutcome(p Payload) {
 	switch {
 	case !p.Compressed:
 		h.Stats.RawWins++
+		h.mx.outcomeRaw.Inc(h.shard)
 	case len(p.Refs) == 0:
 		h.Stats.StandaloneWins++
+		h.mx.outcomeStand.Inc(h.shard)
 	default:
 		h.Stats.DiffWins++
+		h.mx.outcomeDiff.Inc(h.shard)
 	}
 	if p.Compressed {
 		h.Stats.RefsUsed[len(p.Refs)]++
+		h.mx.refsUsed[len(p.Refs)].Inc(h.shard)
 	}
 }
 
@@ -391,6 +463,7 @@ func (h *HomeEnd) OnUpgrade(lineAddr uint64) {
 // to home positions (§III-G).
 func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 	h.Stats.WBDecodes++
+	h.mx.wbDecodes.Inc(h.shard)
 	if !p.Compressed {
 		if len(p.Raw) != h.lineSize {
 			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB", len(p.Raw), h.lineSize)

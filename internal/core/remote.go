@@ -25,6 +25,9 @@ type RemoteEnd struct {
 
 	scr encScratch
 
+	mx    *remoteCounters
+	shard uint32
+
 	// Stats accumulates decoder/WB-encoder events.
 	Stats RemoteStats
 }
@@ -55,7 +58,7 @@ func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
 	if buckets < 1 {
 		buckets = 1
 	}
-	return &RemoteEnd{
+	r := &RemoteEnd{
 		cfg:      cfg,
 		remote:   remote,
 		engine:   eng,
@@ -63,7 +66,9 @@ func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
 		ht:       NewHashTable(buckets, cfg.BucketDepth),
 		evbuf:    NewEvictionBuffer(),
 		lineSize: remote.Config().LineSize,
-	}, nil
+	}
+	r.mx, r.shard = remoteMetrics()
+	return r, nil
 }
 
 // HashTable exposes the remote hash table for tests and sizing.
@@ -87,6 +92,7 @@ func (r *RemoteEnd) RemoteLIDBits() int {
 // the copy (§IV-A).
 func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 	r.Stats.FillDecodes++
+	r.mx.fillDecodes.Inc(r.shard)
 	if !p.Compressed {
 		if len(p.Raw) != r.lineSize {
 			return nil, fmt.Errorf("core: raw fill of %dB, want %dB", len(p.Raw), r.lineSize)
@@ -97,6 +103,7 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 	for _, rid := range p.Refs {
 		if data := r.evbuf.Resolve(rid, p.AckSeq); data != nil {
 			r.Stats.RescuedRefs++
+			r.mx.evictRescues.Inc(r.shard)
 			r.scr.decRefs = append(r.scr.decRefs, data)
 			continue
 		}
@@ -116,6 +123,7 @@ func (r *RemoteEnd) insertLine(data []byte, id cache.LineID) {
 	for _, s := range r.scr.insertSigs {
 		r.ht.Insert(s, id)
 	}
+	r.mx.htInserts.Add(r.shard, uint64(len(r.scr.insertSigs)))
 }
 
 func (r *RemoteEnd) removeLine(data []byte, id cache.LineID) {
@@ -123,6 +131,7 @@ func (r *RemoteEnd) removeLine(data []byte, id cache.LineID) {
 	for _, s := range r.scr.insertSigs {
 		r.ht.Remove(s, id)
 	}
+	r.mx.htRemoves.Add(r.shard, uint64(len(r.scr.insertSigs)))
 }
 
 // OnFillInstalled must be called after the decoded line is installed in
@@ -140,6 +149,7 @@ func (r *RemoteEnd) OnFillInstalled(id cache.LineID, data []byte, state cache.St
 // in the eviction notice (§IV-A).
 func (r *RemoteEnd) OnEviction(id cache.LineID, data []byte) uint64 {
 	r.removeLine(data, id)
+	r.mx.evictBuffered.Inc(r.shard)
 	return r.evbuf.Add(id, data)
 }
 
@@ -205,13 +215,18 @@ func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 		}
 	}
 	r.Stats.WBPayloadBits += uint64(bestBits)
+	r.mx.writebacks.Inc(r.shard)
+	r.mx.wbPayloadBits.Add(r.shard, uint64(bestBits))
 	switch {
 	case !best.Compressed:
 		r.Stats.WBRawWins++
+		r.mx.wbRaw.Inc(r.shard)
 	case len(best.Refs) == 0:
 		r.Stats.WBStandalone++
+		r.mx.wbStandalone.Inc(r.shard)
 	default:
 		r.Stats.WBDiffWins++
+		r.mx.wbDiff.Inc(r.shard)
 	}
 	return best
 }

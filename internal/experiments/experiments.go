@@ -63,6 +63,7 @@ var drivers = []driver{
 	{"headline", "headline aggregates (§VI-B)", Headline},
 	{"onoff", "on/off compression control (§VI-D)", OnOff},
 	{"ablation", "design-choice ablations (pointer width, bucket depth, insert signatures)", Ablation},
+	{"breakdown", "per-benchmark encoding-class coverage (raw/standalone/diff-N, skips, bits per line)", Breakdown},
 }
 
 // IDs lists every experiment id in paper order.

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"cable/internal/obs"
 )
 
 // This file is the experiment-level half of the parallel execution
@@ -21,6 +23,39 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// runnerCounters tracks experiment/cell progress. Counts of completed
+// work are deterministic; everything measuring time or concurrency is
+// volatile so `-metrics` dumps stay byte-identical across -parallel
+// settings.
+type runnerCounters struct {
+	experiments   *obs.Counter
+	cells         *obs.Counter
+	queueDepth    *obs.Gauge     // experiments admitted but not finished
+	cellsInFlight *obs.Gauge     // cells currently executing
+	experimentMS  *obs.Histogram // per-experiment wall-clock, ms
+	cellMS        *obs.Histogram // per-cell wall-clock, ms
+}
+
+var (
+	runnerCountersOnce   sync.Once
+	sharedRunnerCounters runnerCounters
+)
+
+func runnerMetrics() *runnerCounters {
+	runnerCountersOnce.Do(func() {
+		r := obs.Default()
+		sharedRunnerCounters = runnerCounters{
+			experiments:   r.Counter("experiments.completed"),
+			cells:         r.Counter("experiments.cells"),
+			queueDepth:    r.VolatileGauge("experiments.queue_depth"),
+			cellsInFlight: r.VolatileGauge("experiments.cells_in_flight"),
+			experimentMS:  r.VolatileHistogram("experiments.experiment_ms"),
+			cellMS:        r.VolatileHistogram("experiments.cell_ms"),
+		}
+	})
+	return &sharedRunnerCounters
 }
 
 // StreamResult is one completed experiment as delivered by
@@ -66,18 +101,24 @@ func RunAllStream(ids []string, opt Options) <-chan StreamResult {
 		slots[i] = make(chan StreamResult, 1)
 	}
 	sem := make(chan struct{}, opt.workers())
+	mx := runnerMetrics()
 	for i, id := range ids {
 		go func(i int, id string) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			mx.queueDepth.Add(1)
 			start := time.Now()
 			res, err := Run(id, opt)
+			elapsed := time.Since(start)
+			mx.queueDepth.Add(-1)
+			mx.experiments.Inc(obs.NextShard())
+			mx.experimentMS.Observe(uint64(elapsed.Milliseconds()))
 			slots[i] <- StreamResult{
 				Index:   i,
 				ID:      id,
 				Result:  res,
 				Err:     err,
-				Elapsed: time.Since(start),
+				Elapsed: elapsed,
 			}
 		}(i, id)
 	}
@@ -100,12 +141,22 @@ func RunAllStream(ids []string, opt Options) <-chan StreamResult {
 // workers <= 1 the loop degenerates to a plain serial for, so the
 // serial path is literally the same code.
 func cellRun(workers, n int, fn func(int)) {
+	mx := runnerMetrics()
+	instrumented := func(shard uint32, i int) {
+		mx.cellsInFlight.Add(1)
+		start := time.Now()
+		fn(i)
+		mx.cellsInFlight.Add(-1)
+		mx.cells.Inc(shard)
+		mx.cellMS.Observe(uint64(time.Since(start).Milliseconds()))
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		shard := obs.NextShard()
 		for i := 0; i < n; i++ {
-			fn(i)
+			instrumented(shard, i)
 		}
 		return
 	}
@@ -115,8 +166,9 @@ func cellRun(workers, n int, fn func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			shard := obs.NextShard()
 			for i := range next {
-				fn(i)
+				instrumented(shard, i)
 			}
 		}()
 	}

@@ -51,6 +51,9 @@ type Link struct {
 
 	residualBits int    // unused bits in the current packed flit
 	prevWord     uint64 // last transmitted width-wide word, for toggles
+
+	mx    *linkCounters
+	shard uint32
 }
 
 // New builds a link. Width must be in (0, 64] to fit toggle words.
@@ -58,7 +61,9 @@ func New(cfg Config) *Link {
 	if cfg.WidthBits <= 0 || cfg.WidthBits > 64 {
 		panic(fmt.Sprintf("link: width %d out of range", cfg.WidthBits))
 	}
-	return &Link{cfg: cfg}
+	l := &Link{cfg: cfg}
+	l.mx, l.shard = linkMetrics()
+	return l
 }
 
 // Config returns the link configuration.
@@ -92,6 +97,9 @@ func (l *Link) Send(nbits int) int {
 		wire = l.Flits(nbits) * l.cfg.WidthBits
 	}
 	l.WireBits += uint64(wire)
+	l.mx.payloads.Inc(l.shard)
+	l.mx.payloadBits.Add(l.shard, uint64(nbits))
+	l.mx.wireBits.Add(l.shard, uint64(wire))
 	return wire
 }
 
@@ -108,6 +116,7 @@ func (l *Link) SendWire(data []byte, nbits int) int {
 	if m := len(data) * 8; m < toggleBits {
 		toggleBits = m
 	}
+	before := l.Toggles
 	for off := 0; off < toggleBits; off += w {
 		var word uint64
 		for b := 0; b < w && off+b < toggleBits; b++ {
@@ -118,6 +127,7 @@ func (l *Link) SendWire(data []byte, nbits int) int {
 		l.Toggles += uint64(bits.OnesCount64(word ^ l.prevWord))
 		l.prevWord = word
 	}
+	l.mx.toggles.Add(l.shard, l.Toggles-before)
 	return wire
 }
 

@@ -1,0 +1,36 @@
+package link
+
+import (
+	"sync"
+
+	"cable/internal/obs"
+)
+
+// linkCounters aggregates wire traffic across every Link in the
+// process. Each Link draws its own shard at construction, so the
+// per-payload accounting in Send/SendWire stays a handful of
+// uncontended atomic adds.
+type linkCounters struct {
+	payloads    *obs.Counter
+	payloadBits *obs.Counter
+	wireBits    *obs.Counter
+	toggles     *obs.Counter
+}
+
+var (
+	linkCountersOnce   sync.Once
+	sharedLinkCounters linkCounters
+)
+
+func linkMetrics() (*linkCounters, uint32) {
+	linkCountersOnce.Do(func() {
+		r := obs.Default()
+		sharedLinkCounters = linkCounters{
+			payloads:    r.Counter("link.payloads"),
+			payloadBits: r.Counter("link.payload_bits"),
+			wireBits:    r.Counter("link.wire_bits"),
+			toggles:     r.Counter("link.toggles"),
+		}
+	})
+	return &sharedLinkCounters, obs.NextShard()
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves live metrics and profiling for long simulator runs
+// (the cablesim -http flag):
+//
+//	/metrics      registry snapshot as JSON (volatile metrics included)
+//	/metrics.txt  flat sorted "name value" text dump
+//	/debug/pprof  the standard net/http/pprof profile index
+//
+// The handler reads through the same atomics the hot paths update, so
+// hitting it mid-run is safe and does not pause the simulation.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w, true)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w, true)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("cable metrics endpoints:\n  /metrics\n  /metrics.txt\n  /debug/pprof/\n"))
+	})
+	return mux
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardsSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	for shard := uint32(0); shard < NumShards; shard++ {
+		c.Add(shard, uint64(shard))
+	}
+	want := uint64(NumShards * (NumShards - 1) / 2)
+	if got := c.Value(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	c.Inc(7)
+	if got := c.Value(); got != want+1 {
+		t.Fatalf("after Inc: %d, want %d", got, want+1)
+	}
+	// Out-of-range shards mask down instead of panicking.
+	c.Inc(NumShards + 3)
+	if got := c.Value(); got != want+2 {
+		t.Fatalf("masked shard lost the increment: %d", got)
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("different names must differ")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc")
+	g := r.Gauge("gauge")
+	h := r.Histogram("hist")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard uint32) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(shard)
+				g.Add(1)
+				h.Observe(uint64(i))
+			}
+		}(NextShard())
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bits")
+	h.Observe(0) // bit length 0
+	h.Observe(1) // 1
+	h.Observe(2) // 2
+	h.Observe(3) // 2
+	h.Observe(1 << 20)
+	s := r.Snapshot(false).Histograms["bits"]
+	if s.Count != 5 || s.Sum != 6+1<<20 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.Log2Buckets[0] != 1 || s.Log2Buckets[1] != 1 || s.Log2Buckets[2] != 2 || s.Log2Buckets[21] != 1 {
+		t.Fatalf("buckets = %v", s.Log2Buckets)
+	}
+	if m := h.Mean(); m < 209715 || m > 209717 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestVolatileExcludedFromDeterministicSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stable").Inc(0)
+	r.VolatileCounter("wallclock").Inc(0)
+	r.VolatileGauge("queue").Set(3)
+	r.VolatileHistogram("ms").Observe(12)
+	det := r.Snapshot(false)
+	if _, ok := det.Counters["wallclock"]; ok {
+		t.Fatal("volatile counter leaked into deterministic snapshot")
+	}
+	if len(det.Gauges) != 0 || len(det.Histograms) != 0 {
+		t.Fatalf("volatile metrics leaked: %+v", det)
+	}
+	if det.Counters["stable"] != 1 {
+		t.Fatal("stable counter missing")
+	}
+	all := r.Snapshot(true)
+	if all.Counters["wallclock"] != 1 || all.Gauges["queue"] != 3 || all.Histograms["ms"].Count != 1 {
+		t.Fatalf("full snapshot wrong: %+v", all)
+	}
+}
+
+func TestJSONDeterministicAndParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(1, 2)
+	r.Counter("a.one").Add(2, 1)
+	r.Histogram("h").Observe(5)
+	var b1, b2 bytes.Buffer
+	if err := r.WriteJSON(&b1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same state must serialize identically")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if s.Counters["a.one"] != 1 || s.Counters["b.two"] != 2 {
+		t.Fatalf("round trip lost values: %+v", s)
+	}
+	// Sorted keys: "a.one" must appear before "b.two".
+	txt := b1.String()
+	if strings.Index(txt, "a.one") > strings.Index(txt, "b.two") {
+		t.Fatal("JSON keys not sorted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(0, 9)
+	g := r.Gauge("g")
+	g.Set(4)
+	h := r.Histogram("h")
+	h.Observe(3)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left values: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	// Identities survive the reset.
+	if r.Counter("c") != c {
+		t.Fatal("reset must not replace metric objects")
+	}
+	c.Inc(0)
+	if c.Value() != 1 {
+		t.Fatal("counter unusable after reset")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc(0)
+	r.Counter("a.first").Add(0, 2)
+	r.Gauge("m.gauge").Set(-3)
+	var b bytes.Buffer
+	if err := r.WriteText(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if lines[0] != "a.first 2" || lines[1] != "m.gauge -3" || lines[2] != "z.last 1" {
+		t.Fatalf("unsorted or malformed: %q", lines)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add(0, 7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, `"served": 7`) {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/metrics.txt"); code != 200 || !strings.Contains(body, "served 7") {
+		t.Fatalf("/metrics.txt: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path should 404, got %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code=%d body=%q", code, body)
+	}
+}
+
+func TestNextShardInRange(t *testing.T) {
+	for i := 0; i < 3*NumShards; i++ {
+		if s := NextShard(); s >= NumShards {
+			t.Fatalf("shard %d out of range", s)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import "sync"
+
+// EncodeClass is the outcome of one per-line encode decision — the
+// classes whose per-benchmark mix explains the Fig 11/12 ordering.
+type EncodeClass uint8
+
+// Encode outcome classes.
+const (
+	ClassRaw        EncodeClass = iota // uncompressed fallback won
+	ClassStandalone                    // compressed without references
+	ClassDiff1                         // DIFF against 1 reference
+	ClassDiff2                         // DIFF against 2 references
+	ClassDiff3                         // DIFF against 3 references
+	NumClasses
+)
+
+// String names the class for reports.
+func (c EncodeClass) String() string {
+	switch c {
+	case ClassRaw:
+		return "raw"
+	case ClassStandalone:
+		return "standalone"
+	case ClassDiff1:
+		return "diff-1ref"
+	case ClassDiff2:
+		return "diff-2ref"
+	case ClassDiff3:
+		return "diff-3ref"
+	}
+	return "unknown"
+}
+
+// DiffClass returns the class for a DIFF outcome with n references
+// (n in 1..3).
+func DiffClass(n int) EncodeClass {
+	switch n {
+	case 1:
+		return ClassDiff1
+	case 2:
+		return ClassDiff2
+	default:
+		return ClassDiff3
+	}
+}
+
+// EncodeRecord is one per-encode decision record for offline analysis.
+type EncodeRecord struct {
+	// Seq is the 1-based encode ordinal on this tracer.
+	Seq uint64
+	// LineAddr is the line being transferred.
+	LineAddr uint64
+	// Class is the winning encoding class.
+	Class EncodeClass
+	// Refs is the number of references the winner used.
+	Refs uint8
+	// SigsSearched / Candidates describe the search that led to the
+	// decision (both 0 on a threshold skip).
+	SigsSearched uint8
+	Candidates   uint8
+	// ThresholdSkip marks encodes whose standalone ratio cleared the
+	// threshold, so the signature search never ran.
+	ThresholdSkip bool
+	// PayloadBits is the pre-quantization payload size.
+	PayloadBits uint32
+}
+
+// Tracer is the optional decision-trace hook: class totals are exact
+// (every encode is counted), while full records are sampled into a
+// fixed ring buffer so long runs stay bounded. A nil *Tracer is the
+// fast path — callers guard the hook with one pointer check, and the
+// disabled cost is zero.
+//
+// Record takes a mutex; a tracer is meant to be attached to one link
+// end (the parallel drivers build one tracer per cell), so the lock is
+// uncontended — it exists so a shared tracer is merely slow, not racy.
+type Tracer struct {
+	mu      sync.Mutex
+	sample  int
+	seq     uint64
+	ring    []EncodeRecord
+	next    int
+	wrapped bool
+
+	classCounts [NumClasses]uint64
+	skips       uint64
+	payloadBits uint64
+}
+
+// NewTracer builds a tracer keeping up to capacity sampled records,
+// recording every sample-th encode (sample <= 1 records all of them).
+func NewTracer(capacity, sample int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{sample: sample, ring: make([]EncodeRecord, 0, capacity)}
+}
+
+// Record registers one encode decision. Aggregates (class counts,
+// payload bits) are exact; the full record enters the ring only on
+// sampled encodes.
+func (t *Tracer) Record(r EncodeRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	r.Seq = t.seq
+	t.classCounts[r.Class]++
+	t.payloadBits += uint64(r.PayloadBits)
+	if r.ThresholdSkip {
+		t.skips++
+	}
+	if t.seq%uint64(t.sample) != 0 {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+		return
+	}
+	t.ring[t.next] = r
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Total returns the number of encodes seen (sampled or not).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// ClassCounts returns exact per-class encode counts.
+func (t *Tracer) ClassCounts() [NumClasses]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classCounts
+}
+
+// ThresholdSkips returns how many encodes short-circuited on the
+// standalone threshold.
+func (t *Tracer) ThresholdSkips() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.skips
+}
+
+// PayloadBits returns the exact sum of payload bits across every
+// encode seen.
+func (t *Tracer) PayloadBits() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.payloadBits
+}
+
+// Records returns the sampled records, oldest first.
+func (t *Tracer) Records() []EncodeRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]EncodeRecord(nil), t.ring...)
+	}
+	out := make([]EncodeRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "testing"
+
+func TestTracerExactAggregatesSampledRing(t *testing.T) {
+	tr := NewTracer(8, 4) // keep 8 records, sample every 4th encode
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.Record(EncodeRecord{
+			LineAddr:    uint64(i),
+			Class:       EncodeClass(i % int(NumClasses)),
+			PayloadBits: 10,
+		})
+	}
+	if tr.Total() != n {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if tr.PayloadBits() != n*10 {
+		t.Fatalf("payload bits = %d", tr.PayloadBits())
+	}
+	counts := tr.ClassCounts()
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("class counts sum %d, want %d (counts=%v)", sum, n, counts)
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	// Oldest-first, every 4th encode, ending at seq 100.
+	for i, r := range recs {
+		want := uint64(100 - 4*(7-i))
+		if r.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d", i, r.Seq, want)
+		}
+		if r.LineAddr != want-1 {
+			t.Fatalf("record %d addr = %d, want %d", i, r.LineAddr, want-1)
+		}
+	}
+}
+
+func TestTracerSampleOneKeepsEverythingUpToCapacity(t *testing.T) {
+	tr := NewTracer(16, 1)
+	for i := 0; i < 10; i++ {
+		tr.Record(EncodeRecord{Class: ClassStandalone, ThresholdSkip: i%2 == 0})
+	}
+	recs := tr.Records()
+	if len(recs) != 10 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("seq %d at %d", r.Seq, i)
+		}
+	}
+	if tr.ThresholdSkips() != 5 {
+		t.Fatalf("skips = %d", tr.ThresholdSkips())
+	}
+}
+
+func TestTracerDegenerateArgs(t *testing.T) {
+	tr := NewTracer(0, 0) // clamped to capacity 1, sample 1
+	tr.Record(EncodeRecord{Class: ClassRaw})
+	tr.Record(EncodeRecord{Class: ClassDiff3})
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("ring = %+v", recs)
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestEncodeClassNames(t *testing.T) {
+	want := map[EncodeClass]string{
+		ClassRaw:        "raw",
+		ClassStandalone: "standalone",
+		ClassDiff1:      "diff-1ref",
+		ClassDiff2:      "diff-2ref",
+		ClassDiff3:      "diff-3ref",
+		NumClasses:      "unknown",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if DiffClass(1) != ClassDiff1 || DiffClass(2) != ClassDiff2 || DiffClass(3) != ClassDiff3 {
+		t.Fatal("DiffClass mapping wrong")
+	}
+}

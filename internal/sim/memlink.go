@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"cable/internal/obs"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -25,6 +26,10 @@ type MemLinkConfig struct {
 	ScaleCachesByPrograms bool
 	// WithMeters attaches the baseline comparison set.
 	WithMeters bool
+	// Trace, when non-nil, is attached to the home end so every fill
+	// encode is recorded (class counts exact, ring sampled). Used by
+	// the breakdown experiment; nil keeps the nil-check fast path.
+	Trace *obs.Tracer
 }
 
 // DefaultMemLinkConfig returns the Table IV single-program setup.
@@ -85,6 +90,9 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 	}
 	if cfg.WithMeters {
 		chip.Meters = DefaultMeters(chipCfg.Link)
+	}
+	if cfg.Trace != nil && chip.Home != nil {
+		chip.Home.SetTracer(cfg.Trace)
 	}
 
 	// Fine-grained round-robin interleave: the link sees the programs'

@@ -42,10 +42,15 @@ type meterBase struct {
 	owners   map[int]*stats.Ratio
 	total    stats.Ratio
 	lastWire int
+
+	mx    *simCounters
+	shard uint32
 }
 
 func newMeterBase(name string, cfg link.Config) meterBase {
-	return meterBase{name: name, lnk: link.New(cfg), owners: map[int]*stats.Ratio{}}
+	m := meterBase{name: name, lnk: link.New(cfg), owners: map[int]*stats.Ratio{}}
+	m.mx, m.shard = simMetrics()
+	return m
 }
 
 func (m *meterBase) Name() string { return m.name }
@@ -53,6 +58,8 @@ func (m *meterBase) Name() string { return m.name }
 func (m *meterBase) Link() *link.Link { return m.lnk }
 
 func (m *meterBase) account(owner, sourceBits, payloadBits int, wire compress.Encoded) {
+	m.mx.meterTransfers.Inc(m.shard)
+	m.mx.meterSourceBits.Add(m.shard, uint64(sourceBits))
 	wireBits := m.lnk.SendWire(wire.Data, payloadBits)
 	m.lastWire = wireBits
 	if r := m.owners[owner]; r != nil {

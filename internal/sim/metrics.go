@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"sync"
+
+	"cable/internal/obs"
+)
+
+// simCounters aggregates meter traffic process-wide. One shard per
+// meterBase, drawn at construction.
+type simCounters struct {
+	meterTransfers  *obs.Counter
+	meterSourceBits *obs.Counter
+}
+
+var (
+	simCountersOnce   sync.Once
+	sharedSimCounters simCounters
+)
+
+func simMetrics() (*simCounters, uint32) {
+	simCountersOnce.Do(func() {
+		r := obs.Default()
+		sharedSimCounters = simCounters{
+			meterTransfers:  r.Counter("sim.meter_transfers"),
+			meterSourceBits: r.Counter("sim.meter_source_bits"),
+		}
+	})
+	return &sharedSimCounters, obs.NextShard()
+}

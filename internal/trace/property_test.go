@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"cable/internal/workload"
+)
+
+// TestWriterReaderProperty round-trips randomized headers and record
+// streams: whatever a Writer accepts, a Reader must return verbatim,
+// and the stream must end in a clean io.EOF.
+func TestWriterReaderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xCAB1E))
+	for trial := 0; trial < 50; trial++ {
+		h := Header{
+			Benchmark: string(rune('a' + trial%26)),
+			Instance:  rng.Uint32(),
+			AddrBase:  rng.Uint64(),
+		}
+		n := rng.Intn(200)
+		recs := make([]workload.Access, n)
+		for i := range recs {
+			recs[i] = workload.Access{
+				LineAddr: rng.Uint64(),
+				Gap:      rng.Intn(1 << 31),
+				Write:    rng.Intn(2) == 1,
+			}
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, a := range recs {
+			if err := w.Write(a); err != nil {
+				t.Fatalf("trial %d record %d: %v", trial, i, err)
+			}
+		}
+		if w.Count() != uint64(n) {
+			t.Fatalf("trial %d: count %d != %d", trial, w.Count(), n)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := r.Header()
+		if got.Benchmark != h.Benchmark || got.Instance != h.Instance || got.AddrBase != h.AddrBase {
+			t.Fatalf("trial %d: header %+v != %+v", trial, got, h)
+		}
+		for i, want := range recs {
+			a, err := r.Next()
+			if err != nil {
+				t.Fatalf("trial %d record %d: %v", trial, i, err)
+			}
+			if a != want {
+				t.Fatalf("trial %d record %d: %+v != %+v", trial, i, a, want)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("trial %d: want clean EOF, got %v", trial, err)
+		}
+	}
+}
+
+// TestTruncationAtEveryBoundary cuts a valid trace at every possible
+// byte length and demands an error from somewhere — header parse or
+// record iteration — never a silent short read. Only prefixes landing
+// exactly on a record boundary may parse fully (with a clean EOF).
+func TestTruncationAtEveryBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "gcc", Instance: 1, AddrBase: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		if err := w.Write(workload.Access{LineAddr: uint64(i) << 6, Gap: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	headerLen := len(full) - n*13
+
+	for cut := 0; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if cut < headerLen {
+			if err == nil {
+				t.Fatalf("cut %d (inside header) parsed", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: header should parse: %v", cut, err)
+		}
+		recBytes := cut - headerLen
+		whole, rem := recBytes/13, recBytes%13
+		for i := 0; i < whole; i++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatalf("cut %d: whole record %d failed: %v", cut, i, err)
+			}
+		}
+		_, err = r.Next()
+		if rem == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut %d: want EOF after %d records, got %v", cut, whole, err)
+			}
+		} else if err == nil || err == io.EOF {
+			t.Fatalf("cut %d: partial record must be a hard error, got %v", cut, err)
+		}
+	}
+}
