@@ -1,5 +1,5 @@
 # Tier-1 verification (ROADMAP.md): build + tests.
-.PHONY: all build test check bench report
+.PHONY: all build test check bench bench-json report
 
 all: build test
 
@@ -19,6 +19,8 @@ check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	go vet ./...
 	go test -race -count=2 ./internal/obs
+	go test -race -count=1 ./internal/workload
+	go test -race -count=1 -run 'TestCellMemoReuse|TestMetricsDeterministic' ./internal/experiments
 	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -race -timeout 45m ./...
 
@@ -26,6 +28,13 @@ check:
 # (10 samples each); pipe the output of two builds into benchstat.
 bench:
 	go test -run xxx -bench 'BenchmarkEncodeFill|BenchmarkDecodeFill|BenchmarkEngineCompress' -benchmem -count 10 .
+
+# bench-json snapshots the headline benchmarks (end-to-end protocol,
+# full quick-scale report, hot encode path) as committed JSON, so perf
+# PRs carry machine-readable before/after numbers.
+bench-json:
+	go test -run xxx -bench 'BenchmarkMemLinkProtocol$$|BenchmarkRunAllSerial$$|BenchmarkEncodeFill$$' -benchmem -count 1 . \
+		| go run ./tools/benchjson > BENCH_pr3.json
 
 report:
 	go run ./cmd/cablereport -quick

@@ -32,3 +32,26 @@ func TestEncodeFillAllocs(t *testing.T) {
 		t.Fatalf("EncodeFill allocated %.2f times per 256 lines; the hot path must stay allocation-free", avg)
 	}
 }
+
+// TestRunMemoryLinkAllocBudget pins the whole-simulation allocation
+// count, BenchmarkMemLinkProtocol's configuration measured as a hard
+// test. The budget is the issue's target (20% of the 37,455 allocs/op
+// baseline before the scratch-reuse work); the measured value is ~4.6k,
+// so the margin absorbs noise without ever letting a per-line
+// allocation (≥2000 allocs here) sneak back into a hot path.
+func TestRunMemoryLinkAllocBudget(t *testing.T) {
+	const budget = 7492
+	cfg := cable.DefaultMemoryLinkConfig("dealII")
+	cfg.AccessesPerProgram = 2000
+	cfg.WithMeters = false
+	cfg.Chip.LLCBytes = 256 << 10
+	cfg.Chip.L4Bytes = 1 << 20
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := cable.RunMemoryLink(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("RunMemoryLink allocated %.0f times per run; budget is %d", avg, budget)
+	}
+}

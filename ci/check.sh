@@ -25,6 +25,13 @@ echo "== obs race loop"
 # hammer it separately (twice, fast) before the long full-suite run.
 go test -race -count=2 ./internal/obs
 
+echo "== line-cache + cell-memo race loop"
+# The two memoization layers added by the cell-cache work: the workload
+# line cache and the single-flight experiment memo. Fast targeted pass
+# before the full -race suite reaches them.
+go test -race -count=1 ./internal/workload
+go test -race -count=1 -run 'TestCellMemoReuse|TestMetricsDeterministic' ./internal/experiments
+
 echo "== bench smoke (1 iteration)"
 go test -run=NOTHING -bench=. -benchtime=1x .
 

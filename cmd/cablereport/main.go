@@ -35,6 +35,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within experiments")
 	breakdown := flag.Bool("breakdown", false, "run only the encoding-class coverage table")
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
+	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -60,7 +61,7 @@ func main() {
 		mode = "quick"
 	}
 	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
-	opt := cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
+	opt := cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo}
 	total := time.Now()
 	for sr := range cable.StreamExperiments(ids, opt) {
 		if sr.Err != nil {

@@ -28,6 +28,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the driver's independent cells")
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/pprof on this address while running")
+	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
 	flag.Parse()
 
 	if *httpAddr != "" {
@@ -48,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cablesim: -exp required (or -list); e.g. cablesim -exp fig12 -quick")
 		os.Exit(2)
 	}
-	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel})
+	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 		os.Exit(1)

@@ -66,6 +66,12 @@ func NewReader(buf []byte, nbits int) *Reader {
 	return &Reader{buf: buf, nbits: nbits}
 }
 
+// Reset re-points the reader at a new stream, reusing the struct (the
+// allocation-free sibling of NewReader).
+func (r *Reader) Reset(buf []byte, nbits int) {
+	r.buf, r.nbits, r.pos = buf, nbits, 0
+}
+
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.nbits - r.pos }
 

@@ -130,9 +130,13 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	n := cfg.SizeBytes / (cfg.Ways * cfg.LineSize)
+	// One contiguous backing array for all lines; sets are views into
+	// it. This collapses the per-set allocations of large caches into
+	// a single one.
+	backing := make([]Line, n*cfg.Ways)
 	sets := make([][]Line, n)
 	for i := range sets {
-		sets[i] = make([]Line, cfg.Ways)
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return &Cache{cfg: cfg, sets: sets, rng: 0x9E3779B97F4A7C15}
 }
@@ -243,7 +247,8 @@ type Eviction struct {
 }
 
 // InsertAt installs a line at an explicit way and returns the displaced
-// line, if any. The data slice is copied.
+// line, if any. The data slice is copied into the slot's reused buffer
+// (an Eviction's Data is a fresh copy — eviction buffers retain it).
 func (c *Cache) InsertAt(lineAddr uint64, data []byte, st State, way int) (Eviction, bool) {
 	if len(data) != c.cfg.LineSize {
 		panic(fmt.Sprintf("cache %q: insert of %dB line, want %dB", c.cfg.Name, len(data), c.cfg.LineSize))
@@ -264,7 +269,14 @@ func (c *Cache) InsertAt(lineAddr uint64, data []byte, st State, way int) (Evict
 	}
 	c.tick++
 	c.rng += 0x2545F4914F6CDD1D // advance PolicyRandom state per insertion
-	*l = Line{Tag: c.TagOf(lineAddr), State: st, Data: append([]byte(nil), data...), lru: c.tick, valid: true}
+	buf := l.Data
+	if cap(buf) >= c.cfg.LineSize {
+		buf = buf[:c.cfg.LineSize]
+	} else {
+		buf = make([]byte, c.cfg.LineSize)
+	}
+	copy(buf, data)
+	*l = Line{Tag: c.TagOf(lineAddr), State: st, Data: buf, lru: c.tick, valid: true}
 	return ev, evicted
 }
 
@@ -280,7 +292,8 @@ func (c *Cache) Invalidate(lineAddr uint64) (Eviction, bool) {
 		return Eviction{}, false
 	}
 	ev := Eviction{LineAddr: lineAddr, State: l.State, Data: append([]byte(nil), l.Data...), ID: id}
-	*l = Line{}
+	buf := l.Data[:0] // keep the slot buffer for the next insert
+	*l = Line{Data: buf}
 	return ev, true
 }
 

@@ -62,8 +62,22 @@ type Scratch struct {
 	dict []uint32
 	src  []uint32
 
-	shard    uint32 // metrics shard, drawn lazily (zero value is valid)
+	mx       *compressCounters // nil = process-default block
+	shard    uint32            // metrics shard, drawn lazily (zero value is valid)
 	hasShard bool
+}
+
+// UseRegistry points this scratch's compression counters at reg; nil
+// restores the process-default registry. Memoized experiment cells run
+// their link ends against private registries so metric deltas can be
+// replayed on cache hits.
+func (s *Scratch) UseRegistry(reg *obs.Registry) {
+	if reg == nil {
+		s.mx = nil
+		return
+	}
+	mx := newCompressCounters(reg)
+	s.mx = &mx
 }
 
 // ScratchEngine is implemented by engines offering an allocation-free
@@ -85,17 +99,52 @@ func CompressWith(e Engine, s *Scratch, line []byte, refs [][]byte) Encoded {
 	} else {
 		enc = e.Compress(line, refs)
 	}
-	mx := compressMetrics()
+	var mx *compressCounters
 	var shard uint32
 	if s != nil {
 		if !s.hasShard {
 			s.shard, s.hasShard = obs.NextShard(), true
 		}
 		shard = s.shard
+		mx = s.mx
+	}
+	if mx == nil {
+		mx = compressMetrics()
 	}
 	mx.ops.Inc(shard)
 	mx.outBits.Add(shard, uint64(enc.NBits))
 	return enc
+}
+
+// DecScratch holds the reusable buffers of the allocation-free
+// decompression path. One DecScratch belongs to one caller (a link
+// end); it must not be shared across goroutines. The slice returned by
+// DecompressWith aliases the DecScratch and is valid until the next
+// call with the same DecScratch.
+type DecScratch struct {
+	dict []uint32
+	out  []uint32
+	res  []byte
+	r    bits.Reader
+}
+
+// ScratchDecoder is implemented by engines offering an allocation-free
+// decompression path into caller-owned scratch space.
+type ScratchDecoder interface {
+	Engine
+	// DecompressScratch behaves like Decompress but reuses s's
+	// buffers; the result aliases s.
+	DecompressScratch(s *DecScratch, enc Encoded, refs [][]byte, lineSize int) ([]byte, error)
+}
+
+// DecompressWith decompresses via the engine's scratch path when it
+// offers one, falling back to the allocating Decompress. Passing a nil
+// DecScratch always falls back.
+func DecompressWith(e Engine, s *DecScratch, enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	if sd, ok := e.(ScratchDecoder); ok && s != nil {
+		return sd.DecompressScratch(s, enc, refs, lineSize)
+	}
+	return e.Decompress(enc, refs, lineSize)
 }
 
 // Words reinterprets a line as little-endian 32-bit words.
@@ -121,11 +170,17 @@ func AppendWords(dst []uint32, line []byte) []uint32 {
 
 // PutWords serializes words back to bytes.
 func PutWords(ws []uint32) []byte {
-	line := make([]byte, len(ws)*4)
-	for i, w := range ws {
-		binary.LittleEndian.PutUint32(line[i*4:], w)
+	return AppendPutWords(make([]byte, 0, len(ws)*4), ws)
+}
+
+// AppendPutWords appends words' little-endian bytes to dst.
+func AppendPutWords(dst []byte, ws []uint32) []byte {
+	for _, w := range ws {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		dst = append(dst, b[:]...)
 	}
-	return line
+	return dst
 }
 
 // Ratio is uncompressed size over compressed size, the paper's metric

@@ -170,11 +170,28 @@ func (l *LBE) CompressScratch(s *Scratch, line []byte, refs [][]byte) Encoded {
 
 // Decompress implements Engine.
 func (l *LBE) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
-	d := newLBEDict(l.entries, refs)
+	// A local scratch keeps one code path; the result is uniquely
+	// owned because the scratch dies here.
+	var s DecScratch
+	return l.DecompressScratch(&s, enc, refs, lineSize)
+}
+
+// DecompressScratch implements ScratchDecoder: the decode dictionary,
+// word buffers and result bytes all live in s, so steady-state decodes
+// allocate nothing. The result aliases s.
+func (l *LBE) DecompressScratch(s *DecScratch, enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	d := lbeDict{words: s.dict[:0], cap: l.entries}
+	for _, ref := range refs {
+		s.out = AppendWords(s.out[:0], ref)
+		for _, w := range s.out {
+			d.push(w)
+		}
+	}
 	ib := d.idxBits()
-	r := enc.Reader()
+	s.r.Reset(enc.Data, enc.NBits)
+	r := &s.r
 	nWords := lineSize / 4
-	out := make([]uint32, 0, nWords)
+	out := s.out[:0]
 	for len(out) < nWords {
 		code, err := r.ReadBits(2)
 		if err != nil {
@@ -241,5 +258,7 @@ func (l *LBE) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, erro
 	if len(out) != nWords {
 		return nil, fmt.Errorf("lbe: decoded %d words, want %d", len(out), nWords)
 	}
-	return PutWords(out), nil
+	s.dict, s.out = d.words, out // retain grown capacity
+	s.res = AppendPutWords(s.res[:0], out)
+	return s.res, nil
 }

@@ -15,6 +15,13 @@ type compressCounters struct {
 	outBits *obs.Counter
 }
 
+func newCompressCounters(r *obs.Registry) compressCounters {
+	return compressCounters{
+		ops:     r.Counter("compress.ops"),
+		outBits: r.Counter("compress.out_bits"),
+	}
+}
+
 var (
 	compressCountersOnce   sync.Once
 	sharedCompressCounters compressCounters
@@ -22,11 +29,7 @@ var (
 
 func compressMetrics() *compressCounters {
 	compressCountersOnce.Do(func() {
-		r := obs.Default()
-		sharedCompressCounters = compressCounters{
-			ops:     r.Counter("compress.ops"),
-			outBits: r.Counter("compress.out_bits"),
-		}
+		sharedCompressCounters = newCompressCounters(obs.Default())
 	})
 	return &sharedCompressCounters
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"cable/internal/obs"
+)
 
 // Config holds the CABLE framework parameters studied in §VI.
 type Config struct {
@@ -37,6 +41,13 @@ type Config struct {
 	// WritebackCompression enables remote→home compression. It is
 	// disabled for non-inclusive hierarchies (§IV-C).
 	WritebackCompression bool
+	// Metrics, when non-nil, scopes this link's obs counters to a
+	// private registry instead of the process default. Memoized
+	// experiment cells use this so a cell's metric delta can be
+	// captured once and replayed on cache hits. Not part of the
+	// behavioral configuration: it never affects simulated results and
+	// is excluded from content digests.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's baseline parameters.

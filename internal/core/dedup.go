@@ -1,0 +1,71 @@
+package core
+
+import "cable/internal/cache"
+
+// dedupIndex is a generation-stamped open-addressing set that
+// deduplicates hash-table lookup results during candidate gathering.
+// It replaces the former O(n²) linear rescan of the candidate slice:
+// with deep buckets and many search signatures the scan cost grew with
+// the square of the candidate count, while this index is O(1) per
+// lookup result. Clearing between encodes is a single generation bump,
+// so the scratch never needs re-zeroing on the hot path.
+type dedupIndex struct {
+	slots []dedupSlot
+	mask  uint32
+	gen   uint32
+}
+
+type dedupSlot struct {
+	gen uint32
+	pos int32
+	id  cache.LineID
+}
+
+// begin prepares the index for one encode that will observe at most
+// max candidate IDs (lookup results, pre-dedup). Capacity is kept at
+// least twice max so probe chains stay short.
+func (d *dedupIndex) begin(max int) {
+	need := 1
+	for need < 2*max {
+		need <<= 1
+	}
+	if need > len(d.slots) {
+		d.slots = make([]dedupSlot, need)
+		d.mask = uint32(need - 1)
+		d.gen = 0
+	}
+	d.gen++
+	if d.gen == 0 {
+		// Generation wrap: stale stamps from 2³² encodes ago could
+		// alias the fresh generation, so clear once and restart.
+		for i := range d.slots {
+			d.slots[i].gen = 0
+		}
+		d.gen = 1
+	}
+}
+
+// insert records id at position pos unless it is already present; it
+// returns the position recorded for id and whether it was a duplicate.
+func (d *dedupIndex) insert(id cache.LineID, pos int32) (int32, bool) {
+	h := dedupHash(id) & d.mask
+	for {
+		s := &d.slots[h]
+		if s.gen != d.gen {
+			s.gen, s.id, s.pos = d.gen, id, pos
+			return pos, false
+		}
+		if s.id == id {
+			return s.pos, true
+		}
+		h = (h + 1) & d.mask
+	}
+}
+
+func dedupHash(id cache.LineID) uint32 {
+	x := uint64(uint32(id.Index))<<32 | uint64(uint32(id.Way))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return uint32(x)
+}

@@ -25,8 +25,13 @@ import (
 // Lookups are inexact — hash collisions yield false positives that the
 // ranking step filters out by reading the actual data.
 type HashTable struct {
-	buckets [][]entry
-	depth   int
+	// entries is the flat bucket array: bucket b occupies
+	// entries[b*depth : (b+1)*depth]. One contiguous allocation
+	// instead of one per bucket mirrors the SRAM it models and keeps
+	// bucket probes on at most two cache lines.
+	entries  []entry
+	nbuckets int
+	depth    int
 
 	// Stats
 	Inserts    uint64
@@ -51,21 +56,18 @@ func NewHashTable(buckets, depth int) *HashTable {
 	for n < buckets {
 		n <<= 1
 	}
-	b := make([][]entry, n)
-	for i := range b {
-		b[i] = make([]entry, depth)
-	}
-	return &HashTable{buckets: b, depth: depth}
+	return &HashTable{entries: make([]entry, n*depth), nbuckets: n, depth: depth}
 }
 
 // NumBuckets returns the bucket count.
-func (h *HashTable) NumBuckets() int { return len(h.buckets) }
+func (h *HashTable) NumBuckets() int { return h.nbuckets }
 
 // Depth returns the bucket depth.
 func (h *HashTable) Depth() int { return h.depth }
 
 func (h *HashTable) bucket(s sig.Signature) []entry {
-	return h.buckets[uint32(s)&uint32(len(h.buckets)-1)]
+	b := int(uint32(s) & uint32(h.nbuckets-1))
+	return h.entries[b*h.depth : (b+1)*h.depth]
 }
 
 // Insert records that the line at id carries signature s. Within a
@@ -137,11 +139,9 @@ func (h *HashTable) InsertLine(ex *sig.Extractor, data []byte, id cache.LineID) 
 // Occupancy counts live entries (for tests and reports).
 func (h *HashTable) Occupancy() int {
 	n := 0
-	for _, b := range h.buckets {
-		for _, e := range b {
-			if e.valid {
-				n++
-			}
+	for i := range h.entries {
+		if h.entries[i].valid {
+			n++
 		}
 	}
 	return n
@@ -150,10 +150,10 @@ func (h *HashTable) Occupancy() int {
 // SizeBits returns the storage cost of the table given the LineID
 // width, for the Table III area model.
 func (h *HashTable) SizeBits(lineIDBits int) int {
-	return len(h.buckets) * h.depth * (lineIDBits + 1)
+	return h.nbuckets * h.depth * (lineIDBits + 1)
 }
 
 // String implements fmt.Stringer.
 func (h *HashTable) String() string {
-	return fmt.Sprintf("hashtable{buckets=%d depth=%d live=%d}", len(h.buckets), h.depth, h.Occupancy())
+	return fmt.Sprintf("hashtable{buckets=%d depth=%d live=%d}", h.nbuckets, h.depth, h.Occupancy())
 }

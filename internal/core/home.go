@@ -67,9 +67,12 @@ type encScratch struct {
 	refIDs     []cache.LineID
 	raw        []byte
 	decRefs    [][]byte
+	decOut     []byte // raw-path decode output
+	dec        compress.DecScratch
 	standalone compress.Scratch
 	diff       compress.Scratch
 	pick       refPicker
+	dedup      dedupIndex
 }
 
 // HomeStats counts encoder events.
@@ -125,7 +128,9 @@ func NewHomeEndWithWayMap(cfg Config, home, remote *cache.Cache, wm WayMap) (*Ho
 		remoteWayBits: remote.WayBits(),
 		lineSize:      home.Config().LineSize,
 	}
-	h.mx, h.shard = homeMetrics()
+	h.mx, h.shard = homeMetricsIn(cfg.Metrics)
+	h.scr.standalone.UseRegistry(cfg.Metrics)
+	h.scr.diff.UseRegistry(cfg.Metrics)
 	return h, nil
 }
 
@@ -322,24 +327,22 @@ func (h *HomeEnd) encode(data []byte) (Payload, FillLatency) {
 // gatherCandidates probes the hash table with every search signature,
 // pre-ranks by duplication, reads the top candidates from the data
 // array, checks remote residency through the WMT, and builds CBVs.
-// Candidates are deduplicated by a linear scan in first-seen order —
-// at most MaxSearchSigs×BucketDepth entries, so this matches the old
-// map-based bookkeeping bit for bit without its allocations.
+// Candidates are deduplicated in first-seen order through the scratch
+// dedup index — O(1) per lookup result instead of the former O(n²)
+// rescan of the candidate slice, with bit-identical output.
 func (h *HomeEnd) gatherCandidates(data []byte, sigs []sig.Signature) []candidate {
 	scr := &h.scr
 	cands := scr.cands[:0]
+	scr.dedup.begin(len(sigs) * h.cfg.BucketDepth)
 	for _, s := range sigs {
 		scr.lookup = h.ht.Lookup(s, scr.lookup[:0])
 		h.mx.htHits.Add(h.shard, uint64(len(scr.lookup)))
-	next:
 		for _, id := range scr.lookup {
-			for i := range cands {
-				if cands[i].homeID == id {
-					cands[i].dups++
-					continue next
-				}
+			if pos, dup := scr.dedup.insert(id, int32(len(cands))); dup {
+				cands[pos].dups++
+			} else {
+				cands = append(cands, candidate{homeID: id, dups: 1})
 			}
-			cands = append(cands, candidate{homeID: id, dups: 1})
 		}
 	}
 	scr.cands = cands
@@ -460,7 +463,8 @@ func (h *HomeEnd) OnUpgrade(lineAddr uint64) {
 
 // DecodeWriteback reconstructs a write-back payload produced by the
 // remote end. Reference RemoteLIDs are translated through the WMT back
-// to home positions (§III-G).
+// to home positions (§III-G). The result aliases this end's decode
+// scratch and is valid until the next decode; retainers must copy.
 func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 	h.Stats.WBDecodes++
 	h.mx.wbDecodes.Inc(h.shard)
@@ -468,7 +472,8 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 		if len(p.Raw) != h.lineSize {
 			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB", len(p.Raw), h.lineSize)
 		}
-		return append([]byte(nil), p.Raw...), nil
+		h.scr.decOut = append(h.scr.decOut[:0], p.Raw...)
+		return h.scr.decOut, nil
 	}
 	h.scr.decRefs = h.scr.decRefs[:0]
 	for _, rid := range p.Refs {
@@ -482,5 +487,5 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 		}
 		h.scr.decRefs = append(h.scr.decRefs, line.Data)
 	}
-	return h.engine.Decompress(p.Diff, h.scr.decRefs, h.lineSize)
+	return compress.DecompressWith(h.engine, &h.scr.dec, p.Diff, h.scr.decRefs, h.lineSize)
 }

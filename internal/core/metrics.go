@@ -63,6 +63,48 @@ type remoteCounters struct {
 	htRemoves     *obs.Counter
 }
 
+func newHomeCounters(r *obs.Registry) homeCounters {
+	hc := homeCounters{
+		fills:          r.Counter("core.fills"),
+		thresholdSkips: r.Counter("core.threshold_skips"),
+		sigsSearched:   r.Counter("core.sigs_searched"),
+		htProbes:       r.Counter("core.ht_probes"),
+		htHits:         r.Counter("core.ht_hits"),
+		htInserts:      r.Counter("core.ht_inserts"),
+		htRemoves:      r.Counter("core.ht_removes"),
+		htCollisions:   r.Counter("core.ht_collisions"),
+		candidatesRead: r.Counter("core.candidates_read"),
+		wmtHits:        r.Counter("core.wmt_hits"),
+		wmtMisses:      r.Counter("core.wmt_misses"),
+		outcomeRaw:     r.Counter("core.outcome_raw"),
+		outcomeStand:   r.Counter("core.outcome_standalone"),
+		outcomeDiff:    r.Counter("core.outcome_diff"),
+		payloadBits:    r.Counter("core.payload_bits"),
+		sourceBits:     r.Counter("core.source_bits"),
+		wbDecodes:      r.Counter("core.wb_decodes"),
+		payloadDist:    r.Histogram("core.payload_bits_dist"),
+	}
+	for i := range hc.refsUsed {
+		hc.refsUsed[i] = r.Counter(fmt.Sprintf("core.refs_used_%d", i))
+	}
+	return hc
+}
+
+func newRemoteCounters(r *obs.Registry) remoteCounters {
+	return remoteCounters{
+		fillDecodes:   r.Counter("remote.fill_decodes"),
+		evictRescues:  r.Counter("remote.evict_rescues"),
+		evictBuffered: r.Counter("remote.evict_buffered"),
+		writebacks:    r.Counter("remote.writebacks"),
+		wbRaw:         r.Counter("remote.wb_raw"),
+		wbStandalone:  r.Counter("remote.wb_standalone"),
+		wbDiff:        r.Counter("remote.wb_diff"),
+		wbPayloadBits: r.Counter("remote.wb_payload_bits"),
+		htInserts:     r.Counter("remote.ht_inserts"),
+		htRemoves:     r.Counter("remote.ht_removes"),
+	}
+}
+
 var (
 	homeCountersOnce   sync.Once
 	sharedHomeCounters homeCounters
@@ -71,55 +113,28 @@ var (
 	sharedRemoteCounters remoteCounters
 )
 
-// homeMetrics returns the shared home counter block plus a fresh shard
-// for the calling end.
-func homeMetrics() (*homeCounters, uint32) {
-	homeCountersOnce.Do(func() {
-		r := obs.Default()
-		sharedHomeCounters = homeCounters{
-			fills:          r.Counter("core.fills"),
-			thresholdSkips: r.Counter("core.threshold_skips"),
-			sigsSearched:   r.Counter("core.sigs_searched"),
-			htProbes:       r.Counter("core.ht_probes"),
-			htHits:         r.Counter("core.ht_hits"),
-			htInserts:      r.Counter("core.ht_inserts"),
-			htRemoves:      r.Counter("core.ht_removes"),
-			htCollisions:   r.Counter("core.ht_collisions"),
-			candidatesRead: r.Counter("core.candidates_read"),
-			wmtHits:        r.Counter("core.wmt_hits"),
-			wmtMisses:      r.Counter("core.wmt_misses"),
-			outcomeRaw:     r.Counter("core.outcome_raw"),
-			outcomeStand:   r.Counter("core.outcome_standalone"),
-			outcomeDiff:    r.Counter("core.outcome_diff"),
-			payloadBits:    r.Counter("core.payload_bits"),
-			sourceBits:     r.Counter("core.source_bits"),
-			wbDecodes:      r.Counter("core.wb_decodes"),
-			payloadDist:    r.Histogram("core.payload_bits_dist"),
-		}
-		for i := range sharedHomeCounters.refsUsed {
-			sharedHomeCounters.refsUsed[i] = r.Counter(fmt.Sprintf("core.refs_used_%d", i))
-		}
-	})
-	return &sharedHomeCounters, obs.NextShard()
+// homeMetricsIn resolves the home counter block against reg, or the
+// shared process-default block when reg is nil, plus a fresh shard for
+// the calling end.
+func homeMetricsIn(reg *obs.Registry) (*homeCounters, uint32) {
+	if reg == nil {
+		homeCountersOnce.Do(func() {
+			sharedHomeCounters = newHomeCounters(obs.Default())
+		})
+		return &sharedHomeCounters, obs.NextShard()
+	}
+	hc := newHomeCounters(reg)
+	return &hc, obs.NextShard()
 }
 
-// remoteMetrics returns the shared remote counter block plus a fresh
-// shard for the calling end.
-func remoteMetrics() (*remoteCounters, uint32) {
-	remoteCountersOnce.Do(func() {
-		r := obs.Default()
-		sharedRemoteCounters = remoteCounters{
-			fillDecodes:   r.Counter("remote.fill_decodes"),
-			evictRescues:  r.Counter("remote.evict_rescues"),
-			evictBuffered: r.Counter("remote.evict_buffered"),
-			writebacks:    r.Counter("remote.writebacks"),
-			wbRaw:         r.Counter("remote.wb_raw"),
-			wbStandalone:  r.Counter("remote.wb_standalone"),
-			wbDiff:        r.Counter("remote.wb_diff"),
-			wbPayloadBits: r.Counter("remote.wb_payload_bits"),
-			htInserts:     r.Counter("remote.ht_inserts"),
-			htRemoves:     r.Counter("remote.ht_removes"),
-		}
-	})
-	return &sharedRemoteCounters, obs.NextShard()
+// remoteMetricsIn is homeMetricsIn's remote-end sibling.
+func remoteMetricsIn(reg *obs.Registry) (*remoteCounters, uint32) {
+	if reg == nil {
+		remoteCountersOnce.Do(func() {
+			sharedRemoteCounters = newRemoteCounters(obs.Default())
+		})
+		return &sharedRemoteCounters, obs.NextShard()
+	}
+	rc := newRemoteCounters(reg)
+	return &rc, obs.NextShard()
 }

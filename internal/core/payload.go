@@ -63,6 +63,15 @@ func (p Payload) Bits(remoteLIDBits int) int {
 // describe the remote cache geometry (RemoteLID = index + way).
 func (p Payload) Marshal(idxBits, wayBits int) compress.Encoded {
 	var w bits.Writer
+	return p.MarshalInto(&w, idxBits, wayBits)
+}
+
+// MarshalInto is the scratch form of Marshal: it resets w and writes
+// the wire image into it, so a caller-owned Writer amortizes the
+// buffer across payloads. The result aliases w and is valid until the
+// Writer's next use.
+func (p Payload) MarshalInto(w *bits.Writer, idxBits, wayBits int) compress.Encoded {
+	w.Reset()
 	if !p.Compressed {
 		w.WriteBit(0)
 		w.WriteBytes(p.Raw)

@@ -67,7 +67,9 @@ func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
 		evbuf:    NewEvictionBuffer(),
 		lineSize: remote.Config().LineSize,
 	}
-	r.mx, r.shard = remoteMetrics()
+	r.mx, r.shard = remoteMetricsIn(cfg.Metrics)
+	r.scr.standalone.UseRegistry(cfg.Metrics)
+	r.scr.diff.UseRegistry(cfg.Metrics)
 	return r, nil
 }
 
@@ -89,7 +91,9 @@ func (r *RemoteEnd) RemoteLIDBits() int {
 // DecodeFill reconstructs a fill payload. References are read from the
 // remote data array by RemoteLID; if a referenced slot was evicted
 // after the home end produced the payload, the eviction buffer supplies
-// the copy (§IV-A).
+// the copy (§IV-A). The result aliases this end's decode scratch and
+// is valid until the next decode; retainers must copy (the simulators'
+// caches all copy on install).
 func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 	r.Stats.FillDecodes++
 	r.mx.fillDecodes.Inc(r.shard)
@@ -97,7 +101,8 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 		if len(p.Raw) != r.lineSize {
 			return nil, fmt.Errorf("core: raw fill of %dB, want %dB", len(p.Raw), r.lineSize)
 		}
-		return append([]byte(nil), p.Raw...), nil
+		r.scr.decOut = append(r.scr.decOut[:0], p.Raw...)
+		return r.scr.decOut, nil
 	}
 	r.scr.decRefs = r.scr.decRefs[:0]
 	for _, rid := range p.Refs {
@@ -113,7 +118,7 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 		}
 		r.scr.decRefs = append(r.scr.decRefs, line.Data)
 	}
-	return r.engine.Decompress(p.Diff, r.scr.decRefs, r.lineSize)
+	return compress.DecompressWith(r.engine, &r.scr.dec, p.Diff, r.scr.decRefs, r.lineSize)
 }
 
 // insertLine and removeLine mirror the home end's scratch-backed
@@ -238,17 +243,15 @@ func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 func (r *RemoteEnd) gatherWBCandidates(data []byte, sigs []sig.Signature) []candidate {
 	scr := &r.scr
 	cands := scr.cands[:0]
+	scr.dedup.begin(len(sigs) * r.cfg.BucketDepth)
 	for _, s := range sigs {
 		scr.lookup = r.ht.Lookup(s, scr.lookup[:0])
-	next:
 		for _, id := range scr.lookup {
-			for i := range cands {
-				if cands[i].remoteID == id {
-					cands[i].dups++
-					continue next
-				}
+			if pos, dup := scr.dedup.insert(id, int32(len(cands))); dup {
+				cands[pos].dups++
+			} else {
+				cands = append(cands, candidate{remoteID: id, dups: 1})
 			}
-			cands = append(cands, candidate{remoteID: id, dups: 1})
 		}
 	}
 	scr.cands = cands

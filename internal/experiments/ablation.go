@@ -39,7 +39,7 @@ func Ablation(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, name)
 		cfg.WithMeters = false
 		variants[vi].mutate(&cfg)
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err

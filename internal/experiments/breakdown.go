@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"cable/internal/obs"
-	"cable/internal/sim"
 	"cable/internal/stats"
 )
 
@@ -32,7 +31,7 @@ func Breakdown(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, names[i])
 		cfg.WithMeters = false
 		cfg.Trace = tr
-		_, err := sim.RunMemoryLink(cfg)
+		_, err := runMemLink(opt, cfg)
 		tracers[i], errs[i] = tr, err
 	})
 	if err := firstErr(errs); err != nil {

@@ -29,7 +29,7 @@ func runPerBenchmark(opt Options, names []string) (map[string]map[string]float64
 	rows := make([]map[string]float64, len(names))
 	errs := make([]error, len(names))
 	cellRun(opt.workers(), len(names), func(i int) {
-		res, err := sim.RunMemoryLink(memLinkCfg(opt, names[i]))
+		res, err := runMemLink(opt, memLinkCfg(opt, names[i]))
 		if err != nil {
 			errs[i] = err
 			return
@@ -202,7 +202,7 @@ func Fig20(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, names[k/len(engines)])
 		cfg.WithMeters = false
 		cfg.Chip.Cable.EngineName = engines[k%len(engines)]
-		res, err := sim.RunMemoryLink(cfg)
+		res, err := runMemLink(opt, cfg)
 		if err != nil {
 			errs[k] = err
 			return
@@ -230,7 +230,7 @@ func Toggles(opt Options) (*Result, error) {
 	results := make([]*sim.MemLinkResult, len(names))
 	errs := make([]error, len(names))
 	cellRun(opt.workers(), len(names), func(i int) {
-		results[i], errs[i] = sim.RunMemoryLink(memLinkCfg(opt, names[i]))
+		results[i], errs[i] = runMemLink(opt, memLinkCfg(opt, names[i]))
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err

@@ -26,6 +26,12 @@ type Options struct {
 	// every cell seeds its own generators and tables are filled in
 	// loop order after collection.
 	Parallelism int
+
+	// DisableCellMemo turns off the cross-experiment cell cache
+	// (memo.go), forcing every simulation to recompute. Outputs are
+	// bit-identical either way; the flag exists for A/B verification
+	// and for the `-nomemo` CLI escape hatch.
+	DisableCellMemo bool
 }
 
 // Result is one regenerated table/figure.

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"cable/internal/obs"
+	"cable/internal/sim"
+	"cable/internal/stats"
+)
+
+// This file is the cross-experiment cell cache: many drivers evaluate
+// overlapping (benchmark, scheme, config) cells — the sensitivity
+// sweeps all contain the default point, fig11/fig12 share every cell,
+// headline re-runs the fig12 suite — so RunAll pays for the same
+// simulation several times. The memo keys cells by the sim package's
+// canonical config digest and computes each distinct cell exactly once
+// per process, with single-flight de-duplication so concurrent
+// requesters of the same cell wait for one compute instead of racing.
+//
+// Bit-identity is preserved by construction, not by luck:
+//
+//   - Results: the simulations are deterministic, so replaying a stored
+//     result is byte-equal to recomputing it. Requesters receive fresh
+//     deep copies, never shared maps.
+//   - Metrics: a memoized compute runs against a private obs.Registry
+//     and stores the non-volatile snapshot delta. EVERY logical request
+//     — the computing miss and every subsequent hit — merges that same
+//     delta into the default registry, so counter totals (and the
+//     metric name set) in `-metrics` dumps match a memo-disabled run
+//     exactly, at any -parallel setting.
+//   - Hit/miss counts: single-flight makes misses equal the number of
+//     distinct digests and hits the remainder, independent of
+//     scheduling, so the memo's own counters are deterministic too.
+//
+// Cells that attach a Tracer bypass the memo (the trace is a fresh
+// side effect per run), as does Options.DisableCellMemo (the
+// `-nomemo` CLI flag).
+
+// memoMaxEntries caps the memo's footprint. Reaching the cap clears
+// the whole map: byte-identity is unaffected (the delta merge happens
+// per request either way; a re-computed cell reproduces the same bits),
+// only the time saved is lost. Full reports have a few hundred distinct
+// cells, so the cap exists for pathological callers, not normal runs.
+const memoMaxEntries = 4096
+
+// memoEntry is one memoized cell. ready is closed once the compute
+// finishes; the remaining fields are written before the close and read
+// only after it (channel close establishes the happens-before edge).
+type memoEntry struct {
+	ready chan struct{}
+
+	mem *sim.MemLinkResult // slim copy: Chip is nil (no driver reads it)
+	tim *sim.TimingResult
+	// delta is the non-volatile metrics the compute produced, replayed
+	// into the default registry on every request for this cell.
+	delta obs.Snapshot
+	err   error
+}
+
+type cellMemo struct {
+	mu      sync.Mutex
+	entries map[sim.Digest]*memoEntry
+}
+
+var memo = cellMemo{entries: map[sim.Digest]*memoEntry{}}
+
+// ResetCellMemo drops every memoized cell. Tests that compare metric
+// dumps across runs reset the memo alongside obs.Default() so both
+// runs see the same hit/miss sequence.
+func ResetCellMemo() {
+	memo.mu.Lock()
+	memo.entries = map[sim.Digest]*memoEntry{}
+	memo.mu.Unlock()
+}
+
+// memoCounters instruments the memo itself. Hit/miss/bypass counts are
+// deterministic across -parallel (single-flight, see the file comment)
+// but they describe the process's caching behavior, not the simulated
+// workload — a `-nomemo` run legitimately has different values. They
+// are therefore volatile: excluded from the deterministic `-metrics`
+// dump (which stays byte-identical with the memo on or off) and
+// visible live via `cablesim -http` and volatile snapshots.
+type memoCounters struct {
+	hits       *obs.Counter
+	misses     *obs.Counter
+	bypass     *obs.Counter
+	savedBytes *obs.Counter   // simulated source bytes not re-encoded, from core.source_bits
+	computeMS  *obs.Histogram // per-cell compute wall-clock, ms
+}
+
+var (
+	memoCountersOnce   sync.Once
+	sharedMemoCounters memoCounters
+)
+
+func memoMetrics() *memoCounters {
+	memoCountersOnce.Do(func() {
+		r := obs.Default()
+		sharedMemoCounters = memoCounters{
+			hits:       r.VolatileCounter("experiments.cellmemo_hits"),
+			misses:     r.VolatileCounter("experiments.cellmemo_misses"),
+			bypass:     r.VolatileCounter("experiments.cellmemo_bypass"),
+			savedBytes: r.VolatileCounter("experiments.cellmemo_saved_bytes"),
+			computeMS:  r.VolatileHistogram("experiments.cellmemo_compute_ms"),
+		}
+	})
+	return &sharedMemoCounters
+}
+
+// lookup returns the entry for a digest and whether this caller owns
+// the compute (miss). On a miss the caller MUST fill the entry and
+// close ready, even on error — waiters block on it.
+func (m *cellMemo) lookup(d sim.Digest) (*memoEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[d]; ok {
+		return e, false
+	}
+	if len(m.entries) >= memoMaxEntries {
+		m.entries = map[sim.Digest]*memoEntry{}
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	m.entries[d] = e
+	return e, true
+}
+
+// copyMemLinkResult deep-copies the shareable parts of a result. Chip
+// is intentionally nil in memoized results: drivers read only the
+// ratio/toggle maps.
+func copyMemLinkResult(r *sim.MemLinkResult) *sim.MemLinkResult {
+	if r == nil {
+		return nil
+	}
+	out := &sim.MemLinkResult{
+		Total:      make(map[string]stats.Ratio, len(r.Total)),
+		PerProgram: make(map[string][]stats.Ratio, len(r.PerProgram)),
+		Toggles:    make(map[string]uint64, len(r.Toggles)),
+	}
+	for k, v := range r.Total {
+		out.Total[k] = v
+	}
+	for k, v := range r.PerProgram {
+		out.PerProgram[k] = append([]stats.Ratio(nil), v...)
+	}
+	for k, v := range r.Toggles {
+		out.Toggles[k] = v
+	}
+	return out
+}
+
+// finish publishes a request's observable effects: the metrics delta is
+// merged into the default registry (hit and miss alike, keeping totals
+// equal to a memo-disabled run) and saved work is accounted on hits.
+func (e *memoEntry) finish(mx *memoCounters, hit bool, shard uint32) {
+	obs.Default().Merge(e.delta)
+	if hit {
+		mx.hits.Inc(shard)
+		mx.savedBytes.Add(shard, e.delta.Counters["core.source_bits"]/8)
+	}
+}
+
+// runMemLink is the memoizing front end every driver uses in place of
+// sim.RunMemoryLink. Trace-attached configs bypass the memo.
+func runMemLink(opt Options, cfg sim.MemLinkConfig) (*sim.MemLinkResult, error) {
+	mx := memoMetrics()
+	shard := obs.NextShard()
+	if opt.DisableCellMemo || cfg.Trace != nil || cfg.Metrics != nil {
+		mx.bypass.Inc(shard)
+		return sim.RunMemoryLink(cfg)
+	}
+	e, owner := memo.lookup(cfg.Digest())
+	if !owner {
+		<-e.ready
+		e.finish(mx, true, shard)
+		return copyMemLinkResult(e.mem), e.err
+	}
+	mx.misses.Inc(shard)
+	reg := obs.NewRegistry()
+	scoped := cfg
+	scoped.Metrics = reg
+	start := time.Now()
+	res, err := sim.RunMemoryLink(scoped)
+	mx.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
+	e.mem = copyMemLinkResult(res)
+	e.err = err
+	e.delta = reg.Snapshot(false)
+	close(e.ready)
+	e.finish(mx, false, shard)
+	return copyMemLinkResult(e.mem), err
+}
+
+// runTiming is the memoizing front end every driver uses in place of
+// sim.RunTiming.
+func runTiming(opt Options, cfg sim.TimingConfig) (*sim.TimingResult, error) {
+	mx := memoMetrics()
+	shard := obs.NextShard()
+	if opt.DisableCellMemo || cfg.Metrics != nil {
+		mx.bypass.Inc(shard)
+		return sim.RunTiming(cfg)
+	}
+	e, owner := memo.lookup(cfg.Digest())
+	if !owner {
+		<-e.ready
+		e.finish(mx, true, shard)
+		if e.tim == nil {
+			return nil, e.err
+		}
+		out := *e.tim
+		return &out, e.err
+	}
+	mx.misses.Inc(shard)
+	reg := obs.NewRegistry()
+	scoped := cfg
+	scoped.Metrics = reg
+	start := time.Now()
+	res, err := sim.RunTiming(scoped)
+	mx.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
+	if res != nil {
+		cp := *res
+		e.tim = &cp
+	}
+	e.err = err
+	e.delta = reg.Snapshot(false)
+	close(e.ready)
+	e.finish(mx, false, shard)
+	if e.tim == nil {
+		return nil, err
+	}
+	out := *e.tim
+	return &out, err
+}

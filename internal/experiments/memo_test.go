@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cable/internal/obs"
+	"cable/internal/sim"
+)
+
+// renderAll runs experiments from a clean slate (fresh registry and
+// memo) and renders everything a report consumer sees: tables, notes,
+// and the deterministic metrics dump.
+func renderAll(t *testing.T, ids []string, opt Options) (string, []byte) {
+	t.Helper()
+	obs.Default().Reset()
+	ResetCellMemo()
+	results, err := RunAll(ids, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&sb, "== %s ==\n%s\n", r.ID, r.Table.String())
+		for _, n := range r.Notes {
+			fmt.Fprintln(&sb, n)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.Default().WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), buf.Bytes()
+}
+
+// TestCellMemoBitIdentical is the memo's acceptance contract: report
+// tables AND the deterministic `-metrics` dump are byte-identical with
+// the cell cache enabled or disabled, serial or parallel. fig11/fig12
+// share every cell and fig17 exercises the timing memo, so the enabled
+// runs take real hits, not just cold misses.
+func TestCellMemoBitIdentical(t *testing.T) {
+	ids := []string{"fig11", "fig12", "fig17"}
+	baseTables, baseMetrics := renderAll(t, ids, Options{Quick: true, Parallelism: 1, DisableCellMemo: true})
+
+	// Memo-off parallel determinism is already covered by
+	// TestMetricsDeterministicAcrossParallelism; the variants here pin
+	// the memo-on runs against the memo-off baseline.
+	variants := []Options{
+		{Quick: true, Parallelism: 1},
+		{Quick: true, Parallelism: 4},
+	}
+	for _, opt := range variants {
+		name := fmt.Sprintf("parallel=%d memo=%v", opt.Parallelism, !opt.DisableCellMemo)
+		tables, metrics := renderAll(t, ids, opt)
+		if tables != baseTables {
+			t.Errorf("%s: tables differ from serial memo-off run:\n--- got ---\n%s\n--- want ---\n%s", name, tables, baseTables)
+		}
+		if !bytes.Equal(metrics, baseMetrics) {
+			t.Errorf("%s: deterministic metrics dump differs from serial memo-off run:\n--- got ---\n%s\n--- want ---\n%s", name, metrics, baseMetrics)
+		}
+	}
+}
+
+// TestCellMemoReuse pins the memo mechanics: a repeated cell computes
+// once, requesters get equal-but-unaliased results, and the replayed
+// metrics delta matches a direct run's contribution.
+func TestCellMemoReuse(t *testing.T) {
+	obs.Default().Reset()
+	ResetCellMemo()
+	cfg := sim.DefaultMemLinkConfig("gcc")
+	cfg.AccessesPerProgram = 2000
+	cfg.Chip.LLCBytes = 128 << 10
+	cfg.Chip.L4Bytes = 512 << 10
+
+	first, err := runMemLink(Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := obs.Default().Snapshot(false)
+
+	second, err := runMemLink(Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.mu.Lock()
+	entries := len(memo.entries)
+	memo.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("memo holds %d entries after two identical requests, want 1", entries)
+	}
+	if !reflect.DeepEqual(first.Total, second.Total) ||
+		!reflect.DeepEqual(first.PerProgram, second.PerProgram) ||
+		!reflect.DeepEqual(first.Toggles, second.Toggles) {
+		t.Fatal("hit returned a result different from the computing miss")
+	}
+	// Requesters must not share mutable state.
+	second.Total["tamper"] = first.Total["cable"]
+	if _, leaked := first.Total["tamper"]; leaked {
+		t.Fatal("memo handed out aliased result maps")
+	}
+
+	// The hit merged the same delta again: every simulation counter
+	// doubles exactly.
+	afterSecond := obs.Default().Snapshot(false)
+	for name, v := range afterFirst.Counters {
+		if got := afterSecond.Counters[name]; got != 2*v {
+			t.Errorf("counter %s = %d after hit, want %d (2× first run)", name, got, 2*v)
+		}
+	}
+
+	// The memo's own counters are volatile: visible in the live view
+	// (`-http` serves Snapshot(true)), absent from the deterministic
+	// dump a -nomemo run must reproduce.
+	vol := obs.Default().Snapshot(true)
+	if got := vol.Counters["experiments.cellmemo_hits"]; got != 1 {
+		t.Errorf("volatile cellmemo_hits = %d, want 1", got)
+	}
+	if got := vol.Counters["experiments.cellmemo_misses"]; got != 1 {
+		t.Errorf("volatile cellmemo_misses = %d, want 1", got)
+	}
+	if _, leaked := afterSecond.Counters["experiments.cellmemo_hits"]; leaked {
+		t.Error("cellmemo counters must not appear in the deterministic dump")
+	}
+
+	// Disabling the memo must bypass, not consult, the cache.
+	third, err := runMemLink(Options{DisableCellMemo: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Chip == nil {
+		t.Fatal("bypassed run should carry the live chip, not a slim memo copy")
+	}
+	if !reflect.DeepEqual(first.Total, third.Total) {
+		t.Fatal("memoized and direct runs disagree")
+	}
+}

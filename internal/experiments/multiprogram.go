@@ -25,9 +25,9 @@ func Fig15(opt Options) (*Result, error) {
 	cellRun(opt.workers(), len(runs), func(k int) {
 		name := names[k/2]
 		if k%2 == 0 {
-			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, name))
+			runs[k], errs[k] = runMemLink(opt, memLinkCfg(opt, name))
 		} else {
-			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, name, name, name, name))
+			runs[k], errs[k] = runMemLink(opt, memLinkCfg(opt, name, name, name, name))
 		}
 	})
 	if err := firstErr(errs); err != nil {
@@ -76,10 +76,10 @@ func Fig16(opt Options) (*Result, error) {
 	errs := make([]error, len(runs))
 	cellRun(opt.workers(), len(runs), func(k int) {
 		if k < len(uniques) {
-			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, uniques[k]))
+			runs[k], errs[k] = runMemLink(opt, memLinkCfg(opt, uniques[k]))
 		} else {
 			mix := mixes[k-len(uniques)]
-			runs[k], errs[k] = sim.RunMemoryLink(memLinkCfg(opt, mix[0], mix[1], mix[2], mix[3]))
+			runs[k], errs[k] = runMemLink(opt, memLinkCfg(opt, mix[0], mix[1], mix[2], mix[3]))
 		}
 	})
 	if err := firstErr(errs); err != nil {

@@ -8,11 +8,15 @@ import (
 	"cable/internal/obs"
 )
 
-// runAndSnapshot resets the global registry, runs the given experiments
-// at the given parallelism, and returns the deterministic JSON dump.
+// runAndSnapshot resets the global registry AND the cell memo, runs the
+// given experiments at the given parallelism, and returns the
+// deterministic JSON dump. The memo must reset with the registry so
+// both runs see the same hit/miss sequence (first request per distinct
+// cell is the miss).
 func runAndSnapshot(t *testing.T, ids []string, parallelism int) []byte {
 	t.Helper()
 	obs.Default().Reset()
+	ResetCellMemo()
 	if _, err := RunAll(ids, Options{Quick: true, Parallelism: parallelism}); err != nil {
 		t.Fatal(err)
 	}

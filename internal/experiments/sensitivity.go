@@ -32,7 +32,7 @@ func Fig19a(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, name)
 		cfg.Chip.LLCBytes = sizes[si]
 		cfg.Chip.L4Bytes = sizes[si] * 4
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -67,7 +67,7 @@ func Fig19b(opt Options) (*Result, error) {
 	results, errs := sweepCells(opt, len(ratios), names, func(ri int, name string) (*sim.MemLinkResult, error) {
 		cfg := memLinkCfg(opt, name)
 		cfg.Chip.L4Bytes = cfg.Chip.LLCBytes * ratios[ri]
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -102,7 +102,7 @@ func Fig21(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, name)
 		cfg.WithMeters = false
 		cfg.Chip.Cable.HashSizeFactor = factors[fi]
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -137,7 +137,7 @@ func Fig22(opt Options) (*Result, error) {
 		cfg := memLinkCfg(opt, name)
 		cfg.WithMeters = false
 		cfg.Chip.Cable.AccessCount = counts[ci]
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func Fig23(opt Options) (*Result, error) {
 		cfg.WithMeters = false
 		cfg.Chip.Link.WidthBits = variants[vi].width
 		cfg.Chip.Link.Packed = variants[vi].packed
-		return sim.RunMemoryLink(cfg)
+		return runMemLink(opt, cfg)
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ func speedupSet(opt Options, schemes []string, bench string, totalTh int) (map[s
 		if i > 0 {
 			scheme = schemes[i-1]
 		}
-		runs[i], errs[i] = sim.RunTiming(timingCfg(opt, scheme, bench, totalTh))
+		runs[i], errs[i] = runTiming(opt, timingCfg(opt, scheme, bench, totalTh))
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -135,7 +135,7 @@ func Fig17(opt Options) (*Result, error) {
 	runs := make([]*sim.TimingResult, len(names)*len(all))
 	errs := make([]error, len(runs))
 	cellRun(opt.workers(), len(runs), func(k int) {
-		runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, all[k%len(all)], names[k/len(all)]))
+		runs[k], errs[k] = runTiming(opt, singleThreadCfg(opt, all[k%len(all)], names[k/len(all)]))
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -170,7 +170,7 @@ func Fig18(opt Options) (*Result, error) {
 		if k%2 == 1 {
 			scheme = "cable"
 		}
-		runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, scheme, names[k/2]))
+		runs[k], errs[k] = runTiming(opt, singleThreadCfg(opt, scheme, names[k/2]))
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
@@ -221,13 +221,13 @@ func OnOff(opt Options) (*Result, error) {
 		name := names[k/3]
 		switch k % 3 {
 		case 0:
-			runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, "none", name))
+			runs[k], errs[k] = runTiming(opt, singleThreadCfg(opt, "none", name))
 		case 1:
-			runs[k], errs[k] = sim.RunTiming(singleThreadCfg(opt, "cable", name))
+			runs[k], errs[k] = runTiming(opt, singleThreadCfg(opt, "cable", name))
 		case 2:
 			acfg := singleThreadCfg(opt, "cable", name)
 			acfg.OnOff = true
-			runs[k], errs[k] = sim.RunTiming(acfg)
+			runs[k], errs[k] = runTiming(opt, acfg)
 		}
 	})
 	if err := firstErr(errs); err != nil {

@@ -8,6 +8,8 @@ package link
 import (
 	"fmt"
 	"math/bits"
+
+	"cable/internal/obs"
 )
 
 // Config describes one physical link.
@@ -57,12 +59,17 @@ type Link struct {
 }
 
 // New builds a link. Width must be in (0, 64] to fit toggle words.
-func New(cfg Config) *Link {
+func New(cfg Config) *Link { return NewIn(cfg, nil) }
+
+// NewIn is New with an explicit metrics registry (nil means the
+// process-default registry). Memoized experiment cells run their links
+// against private registries.
+func NewIn(cfg Config, reg *obs.Registry) *Link {
 	if cfg.WidthBits <= 0 || cfg.WidthBits > 64 {
 		panic(fmt.Sprintf("link: width %d out of range", cfg.WidthBits))
 	}
 	l := &Link{cfg: cfg}
-	l.mx, l.shard = linkMetrics()
+	l.mx, l.shard = linkMetricsIn(reg)
 	return l
 }
 

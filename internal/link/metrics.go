@@ -17,20 +17,32 @@ type linkCounters struct {
 	toggles     *obs.Counter
 }
 
+func newLinkCounters(r *obs.Registry) linkCounters {
+	return linkCounters{
+		payloads:    r.Counter("link.payloads"),
+		payloadBits: r.Counter("link.payload_bits"),
+		wireBits:    r.Counter("link.wire_bits"),
+		toggles:     r.Counter("link.toggles"),
+	}
+}
+
 var (
 	linkCountersOnce   sync.Once
 	sharedLinkCounters linkCounters
 )
 
-func linkMetrics() (*linkCounters, uint32) {
-	linkCountersOnce.Do(func() {
-		r := obs.Default()
-		sharedLinkCounters = linkCounters{
-			payloads:    r.Counter("link.payloads"),
-			payloadBits: r.Counter("link.payload_bits"),
-			wireBits:    r.Counter("link.wire_bits"),
-			toggles:     r.Counter("link.toggles"),
-		}
-	})
-	return &sharedLinkCounters, obs.NextShard()
+// linkMetricsIn resolves the counter block against reg, or the shared
+// process-default block when reg is nil, plus a fresh shard for the
+// calling link.
+func linkMetricsIn(reg *obs.Registry) (*linkCounters, uint32) {
+	if reg == nil {
+		linkCountersOnce.Do(func() {
+			sharedLinkCounters = newLinkCounters(obs.Default())
+		})
+		return &sharedLinkCounters, obs.NextShard()
+	}
+	lc := newLinkCounters(reg)
+	return &lc, obs.NextShard()
 }
+
+func linkMetrics() (*linkCounters, uint32) { return linkMetricsIn(nil) }

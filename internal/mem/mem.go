@@ -12,9 +12,28 @@ type Store struct {
 	data     map[uint64][]byte
 	fill     func(lineAddr uint64) []byte
 
+	// arena is bump-allocated backing for materialized lines: fill's
+	// return may alias caller-owned scratch (workload generators hand
+	// out views of their line cache), so the store copies — in chunks,
+	// to keep the copy off the allocation profile.
+	arena []byte
+
 	// Reads/Writes count backing-store traffic (≈ DRAM accesses).
 	Reads  uint64
 	Writes uint64
+}
+
+// arenaChunkLines is how many lines one arena chunk holds.
+const arenaChunkLines = 256
+
+// alloc carves one line-sized buffer out of the arena.
+func (s *Store) alloc() []byte {
+	if len(s.arena) < s.lineSize {
+		s.arena = make([]byte, arenaChunkLines*s.lineSize)
+	}
+	b := s.arena[:s.lineSize:s.lineSize]
+	s.arena = s.arena[s.lineSize:]
+	return b
 }
 
 // NewStore builds a store; fill materializes cold lines and must return
@@ -35,8 +54,10 @@ func (s *Store) Read(lineAddr uint64) []byte {
 	if len(d) != s.lineSize {
 		panic(fmt.Sprintf("mem: fill returned %dB for line %#x, want %dB", len(d), lineAddr, s.lineSize))
 	}
-	s.data[lineAddr] = d
-	return d
+	cp := s.alloc()
+	copy(cp, d)
+	s.data[lineAddr] = cp
+	return cp
 }
 
 // Write replaces the contents of lineAddr (a write-back reaching
@@ -46,7 +67,13 @@ func (s *Store) Write(lineAddr uint64, data []byte) {
 		panic(fmt.Sprintf("mem: write of %dB to line %#x, want %dB", len(data), lineAddr, s.lineSize))
 	}
 	s.Writes++
-	s.data[lineAddr] = append([]byte(nil), data...)
+	if d, ok := s.data[lineAddr]; ok {
+		copy(d, data)
+		return
+	}
+	cp := s.alloc()
+	copy(cp, data)
+	s.data[lineAddr] = cp
 }
 
 // Lines returns how many lines have been materialized.

@@ -158,6 +158,15 @@ func (h *Histogram) reset() {
 	}
 }
 
+// merge folds a snapshot of another histogram into this one.
+func (h *Histogram) merge(s HistSnapshot) {
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for i := range h.buckets {
+		h.buckets[i].Add(s.Log2Buckets[i])
+	}
+}
+
 // HistSnapshot is the exported form of a Histogram.
 type HistSnapshot struct {
 	Count uint64 `json:"count"`
@@ -259,6 +268,25 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+}
+
+// Merge folds a snapshot into this registry, adding counter and gauge
+// values and accumulating histograms. Metrics named in the snapshot are
+// created (non-volatile) if absent — zero-valued entries included, so a
+// merge also establishes name-set parity with the snapshot's source.
+// Memoized simulation cells use this: a cell runs once against a
+// private registry and its delta is merged here on every logical
+// request, computed or cached, keeping totals request-accurate.
+func (r *Registry) Merge(s Snapshot) {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(0, v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(name).merge(hs)
 	}
 }
 

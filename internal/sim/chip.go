@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"fmt"
 
+	"cable/internal/bits"
 	"cable/internal/cache"
 	"cable/internal/compress"
 	"cable/internal/core"
 	"cable/internal/link"
 	"cable/internal/mem"
+	"cable/internal/obs"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -48,6 +50,10 @@ type ChipConfig struct {
 	// from the replacement-way info embedded in requests. Valid for
 	// 1-1 home mappings (one DRAM buffer behind the LLC), as here.
 	SilentEvictions bool
+	// Metrics, when non-nil, scopes this chip's obs counters (link
+	// ends, links, scheme meter) to a private registry. Never affects
+	// simulated results; excluded from content digests.
+	Metrics *obs.Registry
 }
 
 // DefaultChipConfig returns the Table IV single-thread configuration:
@@ -108,6 +114,10 @@ type Chip struct {
 	// schemeMeter computes Transfer bits when CABLE is disabled.
 	schemeMeter Meter
 
+	// mw is the reusable payload-marshal writer; its image is consumed
+	// by SendWire before the next marshal.
+	mw bits.Writer
+
 	// Stats
 	Accesses  uint64
 	Fills     uint64
@@ -122,6 +132,8 @@ type Chip struct {
 
 // NewChip builds a chip over the given backing content function.
 func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
+	// The chip-level registry scopes every sub-component's counters.
+	cfg.Cable.Metrics = cfg.Metrics
 	llc := cache.New(cache.Config{Name: "llc", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: cfg.LineSize, Policy: cfg.LLCPolicy})
 	l4 := cache.New(cache.Config{Name: "l4", SizeBytes: cfg.L4Bytes, Ways: cfg.L4Ways, LineSize: cfg.LineSize, Policy: cfg.L4Policy})
 	c := &Chip{
@@ -144,10 +156,10 @@ func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
 			return nil, err
 		}
 		c.Home, c.Remote = he, re
-		c.CableLink = link.New(cfg.Link)
+		c.CableLink = link.NewIn(cfg.Link, cfg.Metrics)
 		return c, nil
 	}
-	m, err := newSchemeMeter(cfg.Scheme, cfg.Link)
+	m, err := newSchemeMeter(cfg.Scheme, cfg.Link, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -157,18 +169,18 @@ func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
 
 // newSchemeMeter builds the single-scheme compressor used by the timing
 // simulator when CABLE is not the scheme under test.
-func newSchemeMeter(scheme string, cfg link.Config) (Meter, error) {
+func newSchemeMeter(scheme string, cfg link.Config, reg *obs.Registry) (Meter, error) {
 	switch scheme {
 	case "", "none":
-		return NewRawMeter(cfg), nil
+		return NewRawMeterIn(cfg, reg), nil
 	case "gzip":
-		return NewStreamMeter("gzip", 32<<10, cfg), nil
+		return NewStreamMeterIn("gzip", 32<<10, cfg, reg), nil
 	default:
 		e, err := compress.NewEngine(scheme)
 		if err != nil {
 			return nil, err
 		}
-		return NewEngineMeter(e, cfg), nil
+		return NewEngineMeterIn(e, cfg, reg), nil
 	}
 }
 
@@ -186,7 +198,7 @@ func (c *Chip) ResetStats() {
 	c.L4.Stats = cache.Stats{}
 	c.Store.Reads, c.Store.Writes = 0, 0
 	if c.CableLink != nil {
-		*c.CableLink = *link.New(c.cfg.Link)
+		*c.CableLink = *link.NewIn(c.cfg.Link, c.cfg.Metrics)
 	}
 	if c.schemeMeter != nil {
 		c.schemeMeter.ResetCounters()
@@ -267,7 +279,7 @@ func (c *Chip) evictLLC(ev cache.Eviction, owner int, t *Transfer) {
 			if c.cfg.Verify && !bytes.Equal(got, ev.Data) {
 				panic(fmt.Sprintf("sim: writeback corrupted for line %#x", ev.LineAddr))
 			}
-			enc := p.Marshal(c.LLC.IndexBits(), c.LLC.WayBits())
+			enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
 			wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Remote.RemoteLIDBits()))
 			t.WBBits = wire
 			c.cableAccount(owner, lineBits, wire)
@@ -395,7 +407,7 @@ func (c *Chip) Access(a workload.Access, owner int) Transfer {
 		if c.cfg.Verify && !bytes.Equal(data, want) {
 			panic(fmt.Sprintf("sim: fill corrupted for line %#x", a.LineAddr))
 		}
-		enc := p.Marshal(c.LLC.IndexBits(), c.LLC.WayBits())
+		enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
 		wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Home.RemoteLIDBits()))
 		t.FillBits = wire
 		c.cableAccount(owner, lineBits, wire)

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math"
+
+	"cable/internal/cache"
+	"cable/internal/core"
+	"cable/internal/link"
+)
+
+// This file derives canonical content digests for simulation configs.
+// Two configs with equal digests produce bit-identical simulation
+// results: every behavioral field is folded in with a stable, explicit
+// encoding (field order is part of the format), while observation-only
+// fields (Metrics registries, tracers) are deliberately excluded. The
+// experiments' cell memo keys on these digests.
+//
+// The digest is 128 bits of FNV-1a, computed as two independent 64-bit
+// streams over the same bytes (different offset bases), which is far
+// past collision range for the handful of distinct cells a report run
+// produces.
+
+// Digest is a 128-bit canonical config fingerprint.
+type Digest [16]byte
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+	// fnvOffsetAlt decorrelates the second 64-bit stream.
+	fnvOffsetAlt = 0x6c62272e07bb0142
+)
+
+type digester struct {
+	h1, h2 uint64
+}
+
+func newDigester() digester {
+	return digester{h1: fnvOffset64, h2: fnvOffsetAlt}
+}
+
+func (d *digester) byte(b byte) {
+	d.h1 = (d.h1 ^ uint64(b)) * fnvPrime64
+	d.h2 = (d.h2 ^ uint64(b)) * fnvPrime64
+}
+
+func (d *digester) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (d *digester) i(v int)       { d.u64(uint64(int64(v))) }
+func (d *digester) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digester) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+func (d *digester) bool(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+// str folds in a length-prefixed string, so concatenations can't alias.
+func (d *digester) str(s string) {
+	d.i(len(s))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}
+
+func (d *digester) sum() Digest {
+	var out Digest
+	for i := 0; i < 8; i++ {
+		out[i] = byte(d.h1 >> (8 * i))
+		out[8+i] = byte(d.h2 >> (8 * i))
+	}
+	return out
+}
+
+func (d *digester) coreConfig(c core.Config) {
+	d.i(c.MaxSearchSigs)
+	d.i(c.AccessCount)
+	d.i(c.MaxRefs)
+	d.i(c.BucketDepth)
+	d.i(c.InsertSigs)
+	d.f64(c.HashSizeFactor)
+	d.f64(c.StandaloneThreshold)
+	d.str(c.EngineName)
+	d.i64(c.SigSeed)
+	d.i(c.PointerBitsOverride)
+	d.bool(c.WritebackCompression)
+	// c.Metrics is observation-only: excluded.
+}
+
+func (d *digester) linkConfig(c link.Config) {
+	d.i(c.WidthBits)
+	d.f64(c.FreqHz)
+	d.bool(c.Packed)
+}
+
+func (d *digester) policy(p cache.Policy) { d.byte(byte(p)) }
+
+func (d *digester) chipConfig(c ChipConfig) {
+	d.i(c.LLCBytes)
+	d.i(c.LLCWays)
+	d.i(c.L4Bytes)
+	d.i(c.L4Ways)
+	d.i(c.LineSize)
+	d.policy(c.LLCPolicy)
+	d.policy(c.L4Policy)
+	d.linkConfig(c.Link)
+	d.coreConfig(c.Cable)
+	d.bool(c.EnableCable)
+	d.str(c.Scheme)
+	d.bool(c.Verify)
+	d.bool(c.TagPointers)
+	d.bool(c.SilentEvictions)
+	// c.Metrics is observation-only: excluded.
+}
+
+// Digest fingerprints every behavioral field of the config. Trace and
+// Metrics are excluded: they observe the simulation without altering
+// it (callers that attach a Tracer must not be memoized — the trace
+// itself is a fresh side effect per run).
+func (c MemLinkConfig) Digest() Digest {
+	d := newDigester()
+	d.str("memlink/v1")
+	d.chipConfig(c.Chip)
+	d.i(len(c.Benchmarks))
+	for _, b := range c.Benchmarks {
+		d.str(b)
+	}
+	d.i(c.AccessesPerProgram)
+	d.bool(c.ScaleCachesByPrograms)
+	d.bool(c.WithMeters)
+	return d.sum()
+}
+
+// Digest fingerprints every behavioral field of the config; Metrics is
+// excluded (observation-only).
+func (c TimingConfig) Digest() Digest {
+	d := newDigester()
+	d.str("timing/v1")
+	d.str(c.Scheme)
+	d.str(c.Benchmark)
+	d.i(c.Threads)
+	d.i(c.TotalTh)
+	d.u64(c.InstrPerTh)
+	d.u64(c.WarmupPerTh)
+	d.f64(c.CoreHz)
+	d.i(c.Private.L1Bytes)
+	d.i(c.Private.L1Ways)
+	d.i(c.Private.L1Cycles)
+	d.i(c.Private.L2Bytes)
+	d.i(c.Private.L2Ways)
+	d.i(c.Private.L2Cycles)
+	d.i(c.Private.LineSize)
+	d.i(c.LLCCycles)
+	d.i(c.L4Cycles)
+	d.f64(c.LinkSetupNs)
+	d.f64(c.TotalLinkBW)
+	d.f64(c.TotalDRAMBW)
+	d.i(c.LLCPerThread)
+	d.i(c.L4Ratio)
+	d.i(c.RequestBits)
+	d.linkConfig(c.Link)
+	d.coreConfig(c.Cable)
+	d.bool(c.OnOff)
+	d.f64(c.SampleWindowSec)
+	d.bool(c.NoWorkingSetScale)
+	d.bool(c.Verify)
+	return d.sum()
+}

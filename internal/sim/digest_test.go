@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// TestDigestStability: equal configs digest equal; each behavioral
+// field change moves the digest; observation-only fields don't.
+func TestDigestStability(t *testing.T) {
+	base := DefaultMemLinkConfig("gcc")
+	if base.Digest() != DefaultMemLinkConfig("gcc").Digest() {
+		t.Fatal("equal configs produced different digests")
+	}
+
+	muts := map[string]func(*MemLinkConfig){
+		"benchmark":   func(c *MemLinkConfig) { c.Benchmarks = []string{"mcf"} },
+		"extra bench": func(c *MemLinkConfig) { c.Benchmarks = append(c.Benchmarks, "mcf") },
+		"accesses":    func(c *MemLinkConfig) { c.AccessesPerProgram++ },
+		"scale":       func(c *MemLinkConfig) { c.ScaleCachesByPrograms = !c.ScaleCachesByPrograms },
+		"meters":      func(c *MemLinkConfig) { c.WithMeters = !c.WithMeters },
+		"llc":         func(c *MemLinkConfig) { c.Chip.LLCBytes *= 2 },
+		"link width":  func(c *MemLinkConfig) { c.Chip.Link.WidthBits *= 2 },
+		"engine":      func(c *MemLinkConfig) { c.Chip.Cable.EngineName = "bdi" },
+		"sig seed":    func(c *MemLinkConfig) { c.Chip.Cable.SigSeed++ },
+		"scheme":      func(c *MemLinkConfig) { c.Chip.Scheme = "gzip" },
+		"tag ptrs":    func(c *MemLinkConfig) { c.Chip.TagPointers = !c.Chip.TagPointers },
+	}
+	seen := map[Digest]string{base.Digest(): "base"}
+	for name, mut := range muts {
+		cfg := DefaultMemLinkConfig("gcc")
+		mut(&cfg)
+		d := cfg.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[d] = name
+	}
+
+	// A benchmark list must not alias a differently-split list.
+	a := DefaultMemLinkConfig("gcc", "mcf")
+	b := DefaultMemLinkConfig("gccm", "cf")
+	if a.Digest() == b.Digest() {
+		t.Error("length-prefixed strings should prevent list aliasing")
+	}
+
+	tbase := DefaultTimingConfig("cable", "gcc")
+	if tbase.Digest() != DefaultTimingConfig("cable", "gcc").Digest() {
+		t.Fatal("equal timing configs produced different digests")
+	}
+	tmut := DefaultTimingConfig("cable", "gcc")
+	tmut.OnOff = true
+	if tmut.Digest() == tbase.Digest() {
+		t.Error("timing OnOff change did not move the digest")
+	}
+	if tbase.Digest() == base.Digest() {
+		t.Error("timing and memlink digests must live in distinct namespaces")
+	}
+}

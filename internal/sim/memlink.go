@@ -30,6 +30,12 @@ type MemLinkConfig struct {
 	// encode is recorded (class counts exact, ring sampled). Used by
 	// the breakdown experiment; nil keeps the nil-check fast path.
 	Trace *obs.Tracer
+	// Metrics, when non-nil, scopes the whole simulation's obs
+	// counters (chip, links, meters, workload generators) to a private
+	// registry. The cell memo runs memoized simulations this way and
+	// merges the captured delta into the default registry per request.
+	// Never affects simulated results; excluded from content digests.
+	Metrics *obs.Registry
 }
 
 // DefaultMemLinkConfig returns the Table IV single-program setup.
@@ -71,13 +77,16 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 	}
 	gens := make([]*workload.Generator, len(cfg.Benchmarks))
 	for i, name := range cfg.Benchmarks {
-		g, err := workload.New(name, i, uint64(i)*programSpacing)
+		g, err := workload.NewIn(name, i, uint64(i)*programSpacing, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
 		gens[i] = g
 	}
 	chipCfg := cfg.Chip
+	if cfg.Metrics != nil {
+		chipCfg.Metrics = cfg.Metrics
+	}
 	if cfg.ScaleCachesByPrograms {
 		chipCfg.LLCBytes *= len(cfg.Benchmarks)
 		chipCfg.L4Bytes *= len(cfg.Benchmarks)
@@ -89,7 +98,7 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 		return nil, err
 	}
 	if cfg.WithMeters {
-		chip.Meters = DefaultMeters(chipCfg.Link)
+		chip.Meters = DefaultMetersIn(chipCfg.Link, cfg.Metrics)
 	}
 	if cfg.Trace != nil && chip.Home != nil {
 		chip.Home.SetTracer(cfg.Trace)

@@ -7,6 +7,7 @@ package sim
 import (
 	"cable/internal/compress"
 	"cable/internal/link"
+	"cable/internal/obs"
 	"cable/internal/stats"
 )
 
@@ -39,6 +40,7 @@ type Meter interface {
 type meterBase struct {
 	name     string
 	lnk      *link.Link
+	reg      *obs.Registry // nil = process-default
 	owners   map[int]*stats.Ratio
 	total    stats.Ratio
 	lastWire int
@@ -48,8 +50,12 @@ type meterBase struct {
 }
 
 func newMeterBase(name string, cfg link.Config) meterBase {
-	m := meterBase{name: name, lnk: link.New(cfg), owners: map[int]*stats.Ratio{}}
-	m.mx, m.shard = simMetrics()
+	return newMeterBaseIn(name, cfg, nil)
+}
+
+func newMeterBaseIn(name string, cfg link.Config, reg *obs.Registry) meterBase {
+	m := meterBase{name: name, lnk: link.NewIn(cfg, reg), reg: reg, owners: map[int]*stats.Ratio{}}
+	m.mx, m.shard = simMetricsIn(reg)
 	return m
 }
 
@@ -83,7 +89,7 @@ func (m *meterBase) LastWire() int { return m.lastWire }
 
 func (m *meterBase) ResetCounters() {
 	cfg := m.lnk.Config()
-	*m.lnk = *link.New(cfg)
+	*m.lnk = *link.NewIn(cfg, m.reg)
 	m.owners = map[int]*stats.Ratio{}
 	m.total = stats.Ratio{}
 	m.lastWire = 0
@@ -94,7 +100,12 @@ type RawMeter struct{ meterBase }
 
 // NewRawMeter builds the no-compression baseline meter.
 func NewRawMeter(cfg link.Config) *RawMeter {
-	return &RawMeter{newMeterBase("none", cfg)}
+	return NewRawMeterIn(cfg, nil)
+}
+
+// NewRawMeterIn is NewRawMeter with an explicit metrics registry.
+func NewRawMeterIn(cfg link.Config, reg *obs.Registry) *RawMeter {
+	return &RawMeter{newMeterBaseIn("none", cfg, reg)}
 }
 
 // OnFill implements Meter.
@@ -117,7 +128,12 @@ type EngineMeter struct {
 
 // NewEngineMeter wraps a per-line engine.
 func NewEngineMeter(e compress.Engine, cfg link.Config) *EngineMeter {
-	return &EngineMeter{meterBase: newMeterBase(e.Name(), cfg), engine: e}
+	return NewEngineMeterIn(e, cfg, nil)
+}
+
+// NewEngineMeterIn is NewEngineMeter with an explicit metrics registry.
+func NewEngineMeterIn(e compress.Engine, cfg link.Config, reg *obs.Registry) *EngineMeter {
+	return &EngineMeter{meterBase: newMeterBaseIn(e.Name(), cfg, reg), engine: e}
 }
 
 func (m *EngineMeter) measure(data []byte, owner int) {
@@ -144,8 +160,13 @@ type StreamMeter struct {
 // NewStreamMeter builds a gzip meter with the given window (32 KB in
 // the paper — gzip's maximum).
 func NewStreamMeter(name string, window int, cfg link.Config) *StreamMeter {
+	return NewStreamMeterIn(name, window, cfg, nil)
+}
+
+// NewStreamMeterIn is NewStreamMeter with an explicit metrics registry.
+func NewStreamMeterIn(name string, window int, cfg link.Config, reg *obs.Registry) *StreamMeter {
 	return &StreamMeter{
-		meterBase: newMeterBase(name, cfg),
+		meterBase: newMeterBaseIn(name, cfg, reg),
 		down:      compress.NewLZSS(name, window),
 		up:        compress.NewLZSS(name, window),
 	}
@@ -166,12 +187,17 @@ func (m *StreamMeter) OnWriteback(data []byte, owner int) {
 // DefaultMeters builds the paper's comparison set (Fig 12): BDI, CPACK,
 // CPACK128, LBE256 and gzip with a 32 KB window.
 func DefaultMeters(cfg link.Config) []Meter {
+	return DefaultMetersIn(cfg, nil)
+}
+
+// DefaultMetersIn is DefaultMeters with an explicit metrics registry.
+func DefaultMetersIn(cfg link.Config, reg *obs.Registry) []Meter {
 	return []Meter{
-		NewRawMeter(cfg),
-		NewEngineMeter(compress.NewBDI(), cfg),
-		NewEngineMeter(compress.NewCPack("cpack", 64), cfg),
-		NewEngineMeter(compress.NewCPack("cpack128", 128), cfg),
-		NewEngineMeter(compress.NewLBE("lbe256", 256), cfg),
-		NewStreamMeter("gzip", 32<<10, cfg),
+		NewRawMeterIn(cfg, reg),
+		NewEngineMeterIn(compress.NewBDI(), cfg, reg),
+		NewEngineMeterIn(compress.NewCPack("cpack", 64), cfg, reg),
+		NewEngineMeterIn(compress.NewCPack("cpack128", 128), cfg, reg),
+		NewEngineMeterIn(compress.NewLBE("lbe256", 256), cfg, reg),
+		NewStreamMeterIn("gzip", 32<<10, cfg, reg),
 	}
 }

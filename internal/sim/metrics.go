@@ -13,18 +13,27 @@ type simCounters struct {
 	meterSourceBits *obs.Counter
 }
 
+func newSimCounters(r *obs.Registry) simCounters {
+	return simCounters{
+		meterTransfers:  r.Counter("sim.meter_transfers"),
+		meterSourceBits: r.Counter("sim.meter_source_bits"),
+	}
+}
+
 var (
 	simCountersOnce   sync.Once
 	sharedSimCounters simCounters
 )
 
-func simMetrics() (*simCounters, uint32) {
-	simCountersOnce.Do(func() {
-		r := obs.Default()
-		sharedSimCounters = simCounters{
-			meterTransfers:  r.Counter("sim.meter_transfers"),
-			meterSourceBits: r.Counter("sim.meter_source_bits"),
-		}
-	})
-	return &sharedSimCounters, obs.NextShard()
+// simMetricsIn resolves the counter block against reg, or the shared
+// process-default block when reg is nil, plus a fresh shard.
+func simMetricsIn(reg *obs.Registry) (*simCounters, uint32) {
+	if reg == nil {
+		simCountersOnce.Do(func() {
+			sharedSimCounters = newSimCounters(obs.Default())
+		})
+		return &sharedSimCounters, obs.NextShard()
+	}
+	sc := newSimCounters(reg)
+	return &sc, obs.NextShard()
 }

@@ -7,6 +7,7 @@ import (
 	"cable/internal/core"
 	"cable/internal/dram"
 	"cable/internal/link"
+	"cable/internal/obs"
 	"cable/internal/workload"
 )
 
@@ -63,6 +64,10 @@ type TimingConfig struct {
 	NoWorkingSetScale bool
 	// Verify keeps bit-exact payload checking on.
 	Verify bool
+	// Metrics, when non-nil, scopes the simulation's obs counters to a
+	// private registry (see MemLinkConfig.Metrics). Never affects
+	// simulated results; excluded from content digests.
+	Metrics *obs.Registry
 }
 
 // DefaultTimingConfig returns the Table IV system for one benchmark.
@@ -154,6 +159,7 @@ func RunTiming(cfg TimingConfig) (*TimingResult, error) {
 		Cable:    cfg.Cable,
 		Scheme:   cfg.Scheme,
 		Verify:   cfg.Verify,
+		Metrics:  cfg.Metrics,
 	}
 	spec, err := workload.ByName(cfg.Benchmark)
 	if err != nil {
@@ -171,7 +177,7 @@ func RunTiming(cfg TimingConfig) (*TimingResult, error) {
 	}
 	gens := make([]*workload.Generator, cfg.Threads)
 	for i := range gens {
-		gens[i] = workload.NewFromSpec(spec, i, uint64(i)*programSpacing)
+		gens[i] = workload.NewFromSpecIn(spec, i, uint64(i)*programSpacing, cfg.Metrics)
 	}
 	chip, err := NewChip(chipCfg, func(addr uint64) []byte {
 		return gens[int(addr/programSpacing)].LineData(addr)

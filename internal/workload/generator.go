@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+
+	"cable/internal/obs"
 )
 
 // LineSize is the cache-line granularity of generated content.
@@ -31,11 +33,31 @@ type Generator struct {
 	spec     Spec
 	instance int
 	addrBase uint64
+	seed     uint64 // nameSeed(spec.Name), cached off the hot path
 
 	rng       *rand.Rand
 	protos    [][]byte
 	accesses  uint64
 	streamPos uint64
+
+	// Line-content cache: a direct-mapped cache of materialized lines,
+	// sized to the spec's working set (bounded). Content is a pure
+	// function of the address, so a tag match can return the slot
+	// without re-derivation; repeat accesses — the overwhelming
+	// majority — become a copy-free lookup. Slots are allocated lazily
+	// so access-stream-only generators pay nothing.
+	tags  []uint64 // lineAddr+1 per slot; 0 marks an empty slot
+	lines []byte   // contiguous slot storage, slots × LineSize
+	mask  uint64
+
+	// mutRng/editRng are the reusable scratch rngs of materializeInto,
+	// reseeded in place per line instead of allocating ~5 KB of rng
+	// state per call.
+	mutRng  *rand.Rand
+	editRng *rand.Rand
+
+	mx    *lineCounters
+	shard uint32
 }
 
 // splitmix64 is a fast deterministic scrambler for per-address seeds.
@@ -58,21 +80,40 @@ func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
 // New builds a generator for a named benchmark. instance distinguishes
 // co-running copies; addrBase places its address space.
 func New(name string, instance int, addrBase uint64) (*Generator, error) {
+	return NewIn(name, instance, addrBase, nil)
+}
+
+// NewIn is New with an explicit metrics registry (nil means the
+// process-default registry).
+func NewIn(name string, instance int, addrBase uint64, reg *obs.Registry) (*Generator, error) {
 	spec, err := ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return NewFromSpec(spec, instance, addrBase), nil
+	return NewFromSpecIn(spec, instance, addrBase, reg), nil
 }
 
-// NewFromSpec builds a generator from an explicit spec.
+// NewFromSpec builds a generator from an explicit spec, reporting into
+// the process-default metrics registry.
 func NewFromSpec(spec Spec, instance int, addrBase uint64) *Generator {
+	return NewFromSpecIn(spec, instance, addrBase, nil)
+}
+
+// NewFromSpecIn builds a generator whose line-cache counters report
+// into reg (nil means the process-default registry). Memoized
+// experiment cells run against private registries so their metric
+// deltas can be replayed deterministically.
+func NewFromSpecIn(spec Spec, instance int, addrBase uint64, reg *obs.Registry) *Generator {
 	g := &Generator{
 		spec:     spec,
 		instance: instance,
 		addrBase: addrBase,
+		seed:     nameSeed(spec.Name),
 		rng:      rand.New(rand.NewSource(int64(nameSeed(spec.Name)) + int64(instance)*7919)),
+		mutRng:   rand.New(rand.NewSource(0)),
+		editRng:  rand.New(rand.NewSource(0)),
 	}
+	g.mx, g.shard = lineMetricsIn(reg)
 	// Prototypes depend only on the benchmark: every copy lays out
 	// the same object types.
 	protoRng := rand.New(rand.NewSource(int64(nameSeed(spec.Name)) ^ 0x70726f746f))
@@ -92,6 +133,17 @@ func (g *Generator) AddrBase() uint64 { return g.addrBase }
 // freshLine generates a unique line in the given content family.
 func freshLine(m ValueModel, rng *rand.Rand) []byte {
 	line := make([]byte, LineSize)
+	freshLineInto(line, m, rng)
+	return line
+}
+
+// freshLineInto derives a fresh line into line, which may hold stale
+// slot contents and is zeroed first (the value models assume a zeroed
+// canvas, e.g. null-pointer gaps).
+func freshLineInto(line []byte, m ValueModel, rng *rand.Rand) {
+	for i := range line {
+		line[i] = 0
+	}
 	switch m {
 	case ValuePointer:
 		base := uint64(0x00007F00<<32) | uint64(rng.Intn(1<<20))<<12
@@ -135,40 +187,97 @@ func freshLine(m ValueModel, rng *rand.Rand) []byte {
 	case ValueRandom:
 		rng.Read(line)
 	}
-	return line
 }
 
-// zeroLine builds a zero-dominated line, which every scheme compresses
-// well (the Fig 12 right group's traffic): usually all zero, sometimes
-// with one or two small values.
-func zeroLine(rng *rand.Rand) []byte {
-	line := make([]byte, LineSize)
+// zeroLineInto derives a zero-dominated line into line, which every
+// scheme compresses well (the Fig 12 right group's traffic): usually
+// all zero, sometimes with one or two small values.
+func zeroLineInto(line []byte, rng *rand.Rand) {
+	for i := range line {
+		line[i] = 0
+	}
 	if rng.Intn(4) > 0 {
-		return line
+		return
 	}
 	for k := 1 + rng.Intn(2); k > 0; k-- {
 		off := rng.Intn(LineSize/4) * 4
 		binary.LittleEndian.PutUint32(line[off:], uint32(rng.Intn(1<<10)))
 	}
-	return line
+}
+
+// lineCacheMaxSlots bounds the direct-mapped line cache at 2 MB of
+// slot storage per generator (the largest specs have 1<<20-line
+// working sets; caching their full set would cost 64 MB each).
+const lineCacheMaxSlots = 1 << 15
+
+// lineCacheSlots sizes the cache to the working set: the next power of
+// two ≥ workingSetLines, clamped to [64, lineCacheMaxSlots]. Slots are
+// indexed by relative address, so a working set that fits maps without
+// conflict misses.
+func lineCacheSlots(workingSetLines int) int {
+	n := 64
+	for n < workingSetLines && n < lineCacheMaxSlots {
+		n <<= 1
+	}
+	return n
+}
+
+func (g *Generator) ensureLineCache() {
+	if g.tags != nil {
+		return
+	}
+	n := lineCacheSlots(g.spec.WorkingSetLines)
+	g.tags = make([]uint64, n)
+	g.lines = make([]byte, n*LineSize)
+	g.mask = uint64(n - 1)
 }
 
 // LineData materializes the memory contents of lineAddr. Content is a
 // pure function of (benchmark, relative address, instance), so backing
 // stores can fill lazily and co-run copies agree on structure.
+//
+// The returned slice aliases the generator's line cache: it is
+// read-only and valid until a conflicting LineData call reuses the
+// slot. Callers that retain line contents (backing stores, caches)
+// must copy; the simulators all do.
 func (g *Generator) LineData(lineAddr uint64) []byte {
+	g.ensureLineCache()
+	slot := (lineAddr - g.addrBase) & g.mask
+	buf := g.lines[slot*LineSize : slot*LineSize+LineSize : slot*LineSize+LineSize]
+	tag := lineAddr + 1
+	if g.tags[slot] == tag {
+		g.mx.hits.Inc(g.shard)
+		return buf
+	}
+	g.mx.misses.Inc(g.shard)
+	if g.tags[slot] != 0 {
+		g.mx.evictions.Inc(g.shard)
+	}
+	g.materializeInto(buf, lineAddr)
+	g.tags[slot] = tag
+	return buf
+}
+
+// materializeInto is the pure derivation behind LineData: it derives
+// the contents of lineAddr into dst (LineSize bytes, stale contents
+// allowed — every path fully overwrites). It is bit-identical to the
+// historical allocate-per-call path by construction: reseeding the
+// scratch rngs via (*rand.Rand).Seed runs the same generator seeding
+// as rand.New(rand.NewSource(seed)) and also resets Read state.
+func (g *Generator) materializeInto(dst []byte, lineAddr uint64) {
 	rel := lineAddr - g.addrBase
-	h := splitmix64(nameSeed(g.spec.Name) ^ rel)
+	h := splitmix64(g.seed ^ rel)
 	u := unit(h)
-	mutRng := rand.New(rand.NewSource(int64(splitmix64(h ^ uint64(g.instance)*0x9E37))))
+	mutRng := g.mutRng
+	mutRng.Seed(int64(splitmix64(h ^ uint64(g.instance)*0x9E37)))
 	switch {
 	case u < g.spec.ZeroFrac:
-		return zeroLine(mutRng)
+		zeroLineInto(dst, mutRng)
 	case u < g.spec.ZeroFrac+g.spec.ProtoFrac:
 		objID := rel / uint64(g.spec.ObjLines)
-		oh := splitmix64(nameSeed(g.spec.Name) ^ objID ^ 0x6F626A)
+		oh := splitmix64(g.seed ^ objID ^ 0x6F626A)
 		proto := g.protos[oh%uint64(len(g.protos))]
-		line := append([]byte(nil), proto...)
+		copy(dst, proto)
 		// Copies carry 0..MutateWords edits: many object copies are
 		// byte-identical to their prototype in most fields. A majority
 		// of lines are input-determined (identical across SPECrate
@@ -177,26 +286,25 @@ func (g *Generator) LineData(lineAddr uint64) []byte {
 		// execution-dependent and differ per instance.
 		editRng := mutRng
 		if unit(splitmix64(h^0xC0DE)) < 0.6 {
-			editRng = rand.New(rand.NewSource(int64(splitmix64(h ^ 0x1D3))))
+			editRng = g.editRng
+			editRng.Seed(int64(splitmix64(h ^ 0x1D3)))
 		}
 		for k := editRng.Intn(g.spec.MutateWords + 1); k > 0; k-- {
 			off := editRng.Intn(LineSize/4) * 4
-			binary.LittleEndian.PutUint32(line[off:], editRng.Uint32())
+			binary.LittleEndian.PutUint32(dst[off:], editRng.Uint32())
 		}
 		if unit(splitmix64(oh^0x73686966)) < g.spec.ByteShiftFrac {
 			shift := 1 + int(oh%3)
-			shifted := make([]byte, LineSize)
-			copy(shifted[shift:], line)
-			copy(shifted[:shift], line[LineSize-shift:])
-			line = shifted
+			var tmp [LineSize]byte
+			copy(tmp[shift:], dst)
+			copy(tmp[:shift], dst[LineSize-shift:])
+			copy(dst, tmp[:])
 		}
-		return line
 	default:
-		line := freshLine(g.spec.Model, mutRng)
+		freshLineInto(dst, g.spec.Model, mutRng)
 		if g.spec.ZeroDominant {
-			sparsify(line, mutRng)
+			sparsify(dst, mutRng)
 		}
-		return line
 	}
 }
 

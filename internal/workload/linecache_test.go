@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"cable/internal/obs"
+)
+
+// TestLineCacheBitIdentical is the Level-1 cache contract: LineData
+// through the direct-mapped line cache returns bytes identical to the
+// pure derivation, for every benchmark spec, across instances, under a
+// pattern that exercises hits, misses, conflict evictions and refills.
+func TestLineCacheBitIdentical(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, instance := range []int{0, 3} {
+				addrBase := uint64(instance) * (1 << 32)
+				cached := NewFromSpec(spec, instance, addrBase)
+				// ref shares nothing with cached; materializeInto
+				// reseeds its scratch rngs per call, so it is the
+				// uncached derivation.
+				ref := NewFromSpec(spec, instance, addrBase)
+				refBuf := make([]byte, LineSize)
+
+				slots := uint64(lineCacheSlots(spec.WorkingSetLines))
+				rels := []uint64{
+					0, 1, 7, // cold misses
+					0, 1, // hits
+					slots,        // conflicts with rel 0: eviction
+					0,            // refill after eviction
+					slots + 1, 1, // evict and refill slot 1
+					2 * slots, 0, // second-generation conflict on slot 0
+					uint64(spec.WorkingSetLines - 1),
+				}
+				for i, rel := range rels {
+					addr := addrBase + rel
+					got := cached.LineData(addr)
+					if len(got) != LineSize {
+						t.Fatalf("LineData(%#x) len = %d", addr, len(got))
+					}
+					// Dirty the reference buffer first: materializeInto
+					// must fully overwrite stale contents.
+					for j := range refBuf {
+						refBuf[j] = 0xA5
+					}
+					ref.materializeInto(refBuf, addr)
+					if !bytes.Equal(got, refBuf) {
+						t.Fatalf("step %d: cached LineData(%#x) differs from pure derivation\n got %x\nwant %x",
+							i, addr, got, refBuf)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLineCacheCounters pins the cache's observable behavior on a
+// private registry: the access pattern above has a known hit/miss/
+// eviction decomposition.
+func TestLineCacheCounters(t *testing.T) {
+	spec, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	g := NewFromSpecIn(spec, 0, 0, reg)
+	slots := uint64(lineCacheSlots(spec.WorkingSetLines))
+
+	// miss, hit, miss(conflict evict), miss(refill evict), hit
+	for _, rel := range []uint64{0, 0, slots, 0, 0} {
+		g.LineData(rel)
+	}
+	snap := reg.Snapshot(false)
+	if got := snap.Counters["workload.linecache_hits"]; got != 2 {
+		t.Errorf("hits = %d, want 2", got)
+	}
+	if got := snap.Counters["workload.linecache_misses"]; got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+	if got := snap.Counters["workload.linecache_evictions"]; got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+}

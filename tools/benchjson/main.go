@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into a stable JSON array on stdout, so benchmark snapshots can
+// be committed (see the Makefile's bench-json target) and diffed across
+// PRs without parsing bench text by hand.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerSec   float64 `json:"mb_per_sec,omitempty"`
+	// bytes/allocs are not omitempty: the bench-json target always
+	// passes -benchmem, and 0 allocs/op is the encode path's headline.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	Results []benchResult `json:"results"`
+}
+
+// benchLine matches the fixed prefix; optional metrics (MB/s, B/op,
+// allocs/op) can appear in any combination after it.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesOp    = regexp.MustCompile(`([\d.]+) B/op`)
+	allocsOp   = regexp.MustCompile(`(\d+) allocs/op`)
+	throughput = regexp.MustCompile(`([\d.]+) MB/s`)
+)
+
+func main() {
+	out := benchFile{Results: []benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if bm := bytesOp.FindStringSubmatch(line); bm != nil {
+			b, _ := strconv.ParseFloat(bm[1], 64)
+			r.BytesPerOp = int64(b)
+		}
+		if am := allocsOp.FindStringSubmatch(line); am != nil {
+			r.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		if tm := throughput.FindStringSubmatch(line); tm != nil {
+			r.MBPerSec, _ = strconv.ParseFloat(tm[1], 64)
+		}
+		out.Results = append(out.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
