@@ -21,6 +21,9 @@ check:
 	go test -race -count=2 ./internal/obs
 	go test -race -count=1 ./internal/workload
 	go test -race -count=1 -run 'TestCellMemoReuse|TestMetricsDeterministic' ./internal/experiments
+	go test -race -count=1 ./internal/fault
+	go test -race -count=1 -run 'FaultSoak|FaultDeterminism|ZeroRateInert' ./internal/sim
+	go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
 	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -race -timeout 45m ./...
 

@@ -35,6 +35,7 @@ import (
 	"cable/internal/compress"
 	"cable/internal/core"
 	"cable/internal/experiments"
+	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/obs"
 	"cable/internal/sim"
@@ -223,6 +224,13 @@ func DefaultNonInclusiveConfig(benchmark string) NonInclusiveConfig {
 func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	return sim.RunNonInclusive(cfg)
 }
+
+// FaultConfig describes deterministic link fault injection (per-bit
+// flip rate, truncation rate, seed). The zero value injects nothing
+// and keeps every simulation byte-identical to a fault-free build; a
+// non-zero rate degrades corrupted transfers to counted decode errors
+// and raw-transfer fallbacks instead of panics.
+type FaultConfig = fault.Config
 
 // ExperimentOptions tune experiment scale (Quick shrinks runs for CI).
 type ExperimentOptions = experiments.Options

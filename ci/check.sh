@@ -32,6 +32,25 @@ echo "== line-cache + cell-memo race loop"
 go test -race -count=1 ./internal/workload
 go test -race -count=1 -run 'TestCellMemoReuse|TestMetricsDeterministic' ./internal/experiments
 
+echo "== fault-injection race loop"
+# One injector per simulation is the concurrency contract; the shared
+# piece is the process-default metric counters. Hammer the injector
+# and the three topology soaks under the race detector.
+go test -race -count=1 ./internal/fault
+go test -race -count=1 -run 'FaultSoak|FaultDeterminism|ZeroRateInert' ./internal/sim
+
+echo "== payload fault fuzz smoke"
+# Short corruption fuzz over the guarded decode path: bit flips and
+# truncations must surface as classified errors, never panics.
+go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
+
+echo "== fault-injected determinism (same seed+rate, any -parallel)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/cablesim -exp fig12 -quick -parallel 1 -fault-rate 1e-3 -fault-seed 7 >"$tmpdir/p1.txt"
+go run ./cmd/cablesim -exp fig12 -quick -parallel 8 -fault-rate 1e-3 -fault-seed 7 >"$tmpdir/p8.txt"
+cmp "$tmpdir/p1.txt" "$tmpdir/p8.txt"
+
 echo "== bench smoke (1 iteration)"
 go test -run=NOTHING -bench=. -benchtime=1x .
 

@@ -36,6 +36,9 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "run only the encoding-class coverage table")
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
 	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
+	faultRate := flag.Float64("fault-rate", 0, "per-bit flip probability injected into CABLE wire images (0 disables; outputs at 0 are byte-identical to a fault-free build)")
+	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault pattern (same seed+rates ⇒ identical results at any -parallel)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -61,7 +64,10 @@ func main() {
 		mode = "quick"
 	}
 	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
-	opt := cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo}
+	opt := cable.ExperimentOptions{
+		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
+		Fault: cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+	}
 	total := time.Now()
 	for sr := range cable.StreamExperiments(ids, opt) {
 		if sr.Err != nil {

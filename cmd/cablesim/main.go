@@ -29,6 +29,9 @@ func main() {
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
 	httpAddr := flag.String("http", "", "serve live /metrics and /debug/pprof on this address while running")
 	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
+	faultRate := flag.Float64("fault-rate", 0, "per-bit flip probability injected into CABLE wire images (0 disables; outputs at 0 are byte-identical to a fault-free build)")
+	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault pattern (same seed+rates ⇒ identical results at any -parallel)")
 	flag.Parse()
 
 	if *httpAddr != "" {
@@ -49,7 +52,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cablesim: -exp required (or -list); e.g. cablesim -exp fig12 -quick")
 		os.Exit(2)
 	}
-	res, err := cable.RunExperiment(*exp, cable.ExperimentOptions{Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo})
+	opt := cable.ExperimentOptions{
+		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
+		Fault: cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+	}
+	res, err := cable.RunExperiment(*exp, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 		os.Exit(1)

@@ -59,25 +59,54 @@ type Reader struct {
 	buf   []byte
 	nbits int
 	pos   int
+	// short records that the stream was declared longer than the
+	// backing buffer (a truncated wire image). Reads are bounded to the
+	// physical buffer either way — a Reader can never index past buf —
+	// and reads past the physical end report the truncation.
+	short bool
 }
 
-// NewReader returns a Reader over nbits bits of buf.
+// NewReader returns a Reader over nbits bits of buf. A declared length
+// beyond the physical buffer (or a negative one) is clamped so reads
+// can never index out of range; the mismatch is reported by Err and by
+// the error of the read that hits the physical end.
 func NewReader(buf []byte, nbits int) *Reader {
-	return &Reader{buf: buf, nbits: nbits}
+	r := &Reader{}
+	r.Reset(buf, nbits)
+	return r
 }
 
 // Reset re-points the reader at a new stream, reusing the struct (the
-// allocation-free sibling of NewReader).
+// allocation-free sibling of NewReader). It applies the same bounds
+// validation as NewReader.
 func (r *Reader) Reset(buf []byte, nbits int) {
-	r.buf, r.nbits, r.pos = buf, nbits, 0
+	r.buf, r.nbits, r.pos, r.short = buf, nbits, 0, false
+	if r.nbits < 0 {
+		r.nbits, r.short = 0, true
+	}
+	if max := 8 * len(buf); r.nbits > max {
+		r.nbits, r.short = max, true
+	}
 }
 
-// Remaining returns the number of unread bits.
+// Err reports whether the stream was constructed with a declared length
+// outside the backing buffer (nil otherwise).
+func (r *Reader) Err() error {
+	if r.short {
+		return fmt.Errorf("bits: stream declared longer than its %d-byte buffer", len(r.buf))
+	}
+	return nil
+}
+
+// Remaining returns the number of unread, physically-backed bits.
 func (r *Reader) Remaining() int { return r.nbits - r.pos }
 
 // ReadBit consumes one bit. It reports an error past end of stream.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= r.nbits {
+		if r.short {
+			return 0, fmt.Errorf("bits: read past end of truncated %d-bit stream", r.nbits)
+		}
 		return 0, fmt.Errorf("bits: read past end of %d-bit stream", r.nbits)
 	}
 	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1

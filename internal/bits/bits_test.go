@@ -158,3 +158,59 @@ func BenchmarkWriteBits(b *testing.B) {
 		w.WriteBits(uint64(i), 17)
 	}
 }
+
+// Regression: a Reader whose declared length exceeds its physical
+// buffer (a truncated wire image) must clamp and error, never index
+// past the buffer. The pre-fix code panicked with an out-of-range
+// slice access on the first read past the physical end.
+func TestReaderTruncatedStream(t *testing.T) {
+	var w Writer
+	w.WriteBytes([]byte{0xAB, 0xCD})
+
+	// Declared 64 bits, backed by 2 bytes.
+	r := NewReader(w.Bytes(), 64)
+	if r.Err() == nil {
+		t.Fatal("truncated stream reported no construction error")
+	}
+	if got := r.Remaining(); got != 16 {
+		t.Fatalf("Remaining = %d, want clamp to 16 physical bits", got)
+	}
+	if v, err := r.ReadBits(16); err != nil || v != 0xABCD {
+		t.Fatalf("reads within the physical buffer must succeed: v=%#x err=%v", v, err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past the physical end of a truncated stream succeeded")
+	}
+
+	// Negative declared length clamps to empty.
+	r = NewReader(w.Bytes(), -5)
+	if r.Err() == nil || r.Remaining() != 0 {
+		t.Fatalf("negative length: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read from negative-length stream succeeded")
+	}
+
+	// A well-formed stream keeps Err nil and errors only at its end.
+	r = NewReader(w.Bytes(), 16)
+	if r.Err() != nil {
+		t.Fatalf("well-formed stream reported %v", r.Err())
+	}
+	if _, err := r.ReadBits(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("read past declared end succeeded")
+	}
+
+	// Reset must re-validate: reusing a healthy reader on a truncated
+	// stream re-arms the clamp, and vice versa.
+	r.Reset(w.Bytes(), 1000)
+	if r.Err() == nil || r.Remaining() != 16 {
+		t.Fatalf("Reset validation: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	r.Reset(w.Bytes(), 8)
+	if r.Err() != nil {
+		t.Fatalf("Reset back to valid: %v", r.Err())
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "errors"
+
+// Decode-path error taxonomy. Every anomaly a corrupted or truncated
+// wire image can produce surfaces as (a wrapped form of) one of these
+// sentinels, so protocol drivers can classify failures with errors.Is
+// and degrade gracefully — count the error, fall back to a raw
+// transfer — instead of crashing. CRAM and Touché treat integrity
+// metadata and safe fallback as first-class parts of a compressed
+// memory design; these errors are the contract that makes that
+// possible here.
+var (
+	// ErrTruncatedPayload marks a wire image that ends before the
+	// payload it claims to carry (truncation faults, short frames).
+	ErrTruncatedPayload = errors.New("truncated payload")
+	// ErrBadReference marks a payload whose reference pointers do not
+	// resolve to live lines (empty slot, untracked WMT entry, or
+	// geometry out of range) — the receiver cannot rebuild the DIFF
+	// dictionary.
+	ErrBadReference = errors.New("bad reference")
+	// ErrCorruptDiff marks a DIFF body that fails to decode to exactly
+	// one cache line (bad opcode stream, dictionary overrun, wrong
+	// decoded length).
+	ErrCorruptDiff = errors.New("corrupt diff")
+	// ErrCRCMismatch marks a guarded payload whose trailing CRC does
+	// not match the received image (bit flips on the wire).
+	ErrCRCMismatch = errors.New("payload CRC mismatch")
+)
+
+// crcBits is the width of the optional payload guard (CRC-8/ATM,
+// polynomial x^8+x^2+x+1). 8 bits on a ~100-bit mean payload is cheap
+// and catches all single-burst errors ≤ 8 bits plus 255/256 of longer
+// corruption; the simulators back it with a ground-truth check, as a
+// production link would back it with a retry protocol.
+const crcBits = 8
+
+// crc8Table is the byte-wise table for polynomial 0x07 (MSB-first).
+var crc8Table = func() (t [256]byte) {
+	for i := range t {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return
+}()
+
+// crc8Image computes the guard CRC over the first nbits of a marshaled
+// payload image. Bits past nbits in the final byte are masked out (the
+// writer zero-pads, but a received image may carry CRC bits there), and
+// the bit length itself is folded in so a truncation to a byte-aligned
+// prefix cannot alias a shorter valid image.
+func crc8Image(data []byte, nbits int) byte {
+	nbytes := (nbits + 7) / 8
+	var crc byte
+	for i := 0; i < nbytes; i++ {
+		b := data[i]
+		if i == nbytes-1 && nbits%8 != 0 {
+			b &= 0xFF << uint(8-nbits%8)
+		}
+		crc = crc8Table[crc^b]
+	}
+	crc = crc8Table[crc^byte(nbits)]
+	crc = crc8Table[crc^byte(nbits>>8)]
+	return crc
+}

@@ -470,7 +470,7 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 	h.mx.wbDecodes.Inc(h.shard)
 	if !p.Compressed {
 		if len(p.Raw) != h.lineSize {
-			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB", len(p.Raw), h.lineSize)
+			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB: %w", len(p.Raw), h.lineSize, ErrTruncatedPayload)
 		}
 		h.scr.decOut = append(h.scr.decOut[:0], p.Raw...)
 		return h.scr.decOut, nil
@@ -479,13 +479,17 @@ func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 	for _, rid := range p.Refs {
 		homeID, ok := h.wmt.Reverse(rid)
 		if !ok {
-			return nil, fmt.Errorf("core: writeback references untracked remote slot %v", rid)
+			return nil, fmt.Errorf("core: writeback references untracked remote slot %v: %w", rid, ErrBadReference)
 		}
 		line := h.home.ReadByID(homeID)
 		if line == nil {
-			return nil, fmt.Errorf("core: WMT maps %v to empty home slot %v", rid, homeID)
+			return nil, fmt.Errorf("core: WMT maps %v to empty home slot %v: %w", rid, homeID, ErrBadReference)
 		}
 		h.scr.decRefs = append(h.scr.decRefs, line.Data)
 	}
-	return compress.DecompressWith(h.engine, &h.scr.dec, p.Diff, h.scr.decRefs, h.lineSize)
+	out, err := compress.DecompressWith(h.engine, &h.scr.dec, p.Diff, h.scr.decRefs, h.lineSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: writeback diff: %w: %w", ErrCorruptDiff, err)
+	}
+	return out, nil
 }

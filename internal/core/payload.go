@@ -93,33 +93,54 @@ func (p Payload) MarshalInto(w *bits.Writer, idxBits, wayBits int) compress.Enco
 	return compress.Encoded{Data: w.Bytes(), NBits: w.Len()}
 }
 
+// MarshalGuarded is Marshal plus an appended CRC-8 guard over the
+// payload image; UnmarshalPayloadGuarded verifies and strips it. The
+// guard costs crcBits on the wire, so it is an option the fault-aware
+// drivers enable rather than part of the baseline format (whose bit
+// accounting matches the paper).
+func (p Payload) MarshalGuarded(idxBits, wayBits int) compress.Encoded {
+	var w bits.Writer
+	return p.MarshalGuardedInto(&w, idxBits, wayBits)
+}
+
+// MarshalGuardedInto is the scratch form of MarshalGuarded.
+func (p Payload) MarshalGuardedInto(w *bits.Writer, idxBits, wayBits int) compress.Encoded {
+	enc := p.MarshalInto(w, idxBits, wayBits)
+	crc := crc8Image(enc.Data, enc.NBits)
+	w.WriteBits(uint64(crc), crcBits)
+	return compress.Encoded{Data: w.Bytes(), NBits: w.Len()}
+}
+
 // UnmarshalPayload parses a wire payload. lineSize bounds the raw form.
+// Anomalies surface as wrapped ErrTruncatedPayload, never a panic: the
+// bit reader bounds every access to the physical buffer even when
+// enc.NBits overstates it.
 func UnmarshalPayload(enc compress.Encoded, idxBits, wayBits, lineSize int) (Payload, error) {
 	r := enc.Reader()
 	flag, err := r.ReadBit()
 	if err != nil {
-		return Payload{}, fmt.Errorf("core: empty payload: %w", err)
+		return Payload{}, fmt.Errorf("core: empty payload: %w: %w", ErrTruncatedPayload, err)
 	}
 	if flag == 0 {
 		raw, err := r.ReadBytes(lineSize)
 		if err != nil {
-			return Payload{}, fmt.Errorf("core: truncated raw payload: %w", err)
+			return Payload{}, fmt.Errorf("core: raw payload: %w: %w", ErrTruncatedPayload, err)
 		}
 		return Payload{Raw: raw}, nil
 	}
 	n, err := r.ReadBits(refCountBits)
 	if err != nil {
-		return Payload{}, err
+		return Payload{}, fmt.Errorf("core: refcount: %w: %w", ErrTruncatedPayload, err)
 	}
 	p := Payload{Compressed: true}
 	for i := 0; i < int(n); i++ {
 		idx, err := r.ReadBits(idxBits)
 		if err != nil {
-			return Payload{}, err
+			return Payload{}, fmt.Errorf("core: ref %d index: %w: %w", i, ErrTruncatedPayload, err)
 		}
 		way, err := r.ReadBits(wayBits)
 		if err != nil {
-			return Payload{}, err
+			return Payload{}, fmt.Errorf("core: ref %d way: %w: %w", i, ErrTruncatedPayload, err)
 		}
 		p.Refs = append(p.Refs, cache.LineID{Index: int(idx), Way: int(way)})
 	}
@@ -131,4 +152,27 @@ func UnmarshalPayload(enc compress.Encoded, idxBits, wayBits, lineSize int) (Pay
 	}
 	p.Diff = compress.Encoded{Data: dw.Bytes(), NBits: nbits}
 	return p, nil
+}
+
+// UnmarshalPayloadGuarded verifies and strips the CRC-8 guard appended
+// by MarshalGuarded, then parses the remaining image. A failed check
+// returns a wrapped ErrCRCMismatch; an image too short to carry the
+// guard returns a wrapped ErrTruncatedPayload.
+func UnmarshalPayloadGuarded(enc compress.Encoded, idxBits, wayBits, lineSize int) (Payload, error) {
+	if enc.NBits < crcBits+flagBits {
+		return Payload{}, fmt.Errorf("core: %d-bit image below guard size: %w", enc.NBits, ErrTruncatedPayload)
+	}
+	if enc.NBits > 8*len(enc.Data) {
+		return Payload{}, fmt.Errorf("core: %d-bit image in %d-byte buffer: %w", enc.NBits, len(enc.Data), ErrTruncatedPayload)
+	}
+	bodyBits := enc.NBits - crcBits
+	var got byte
+	for i := 0; i < crcBits; i++ {
+		pos := bodyBits + i
+		got = got<<1 | enc.Data[pos/8]>>(7-uint(pos%8))&1
+	}
+	if want := crc8Image(enc.Data, bodyBits); got != want {
+		return Payload{}, fmt.Errorf("core: guard %#02x, image CRC %#02x: %w", got, want, ErrCRCMismatch)
+	}
+	return UnmarshalPayload(compress.Encoded{Data: enc.Data, NBits: bodyBits}, idxBits, wayBits, lineSize)
 }

@@ -99,7 +99,7 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 	r.mx.fillDecodes.Inc(r.shard)
 	if !p.Compressed {
 		if len(p.Raw) != r.lineSize {
-			return nil, fmt.Errorf("core: raw fill of %dB, want %dB", len(p.Raw), r.lineSize)
+			return nil, fmt.Errorf("core: raw fill of %dB, want %dB: %w", len(p.Raw), r.lineSize, ErrTruncatedPayload)
 		}
 		r.scr.decOut = append(r.scr.decOut[:0], p.Raw...)
 		return r.scr.decOut, nil
@@ -114,11 +114,15 @@ func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 		}
 		line := r.remote.ReadByID(rid)
 		if line == nil {
-			return nil, fmt.Errorf("core: fill references empty remote slot %v", rid)
+			return nil, fmt.Errorf("core: fill references empty remote slot %v: %w", rid, ErrBadReference)
 		}
 		r.scr.decRefs = append(r.scr.decRefs, line.Data)
 	}
-	return compress.DecompressWith(r.engine, &r.scr.dec, p.Diff, r.scr.decRefs, r.lineSize)
+	out, err := compress.DecompressWith(r.engine, &r.scr.dec, p.Diff, r.scr.decRefs, r.lineSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: fill diff: %w: %w", ErrCorruptDiff, err)
+	}
+	return out, nil
 }
 
 // insertLine and removeLine mirror the home end's scratch-backed

@@ -172,6 +172,7 @@ func Fig13(opt Options) (*Result, error) {
 	cellRun(opt.workers(), len(names), func(i int) {
 		cfg := sim.DefaultMultiChipConfig(names[i])
 		cfg.Accesses = accesses(opt)
+		cfg.Fault = opt.Fault
 		if opt.Quick {
 			cfg.LLCBytes = 128 << 10
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cable/internal/fault"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -32,6 +33,14 @@ type Options struct {
 	// bit-identical either way; the flag exists for A/B verification
 	// and for the `-nomemo` CLI escape hatch.
 	DisableCellMemo bool
+
+	// Fault applies deterministic link fault injection to every
+	// CABLE simulation the drivers run (the `-fault-rate`/`-fault-seed`
+	// CLI flags). The zero value injects nothing and keeps all outputs
+	// byte-identical to a build without the fault layer. Fault config
+	// is folded into the cell-memo digests, so faulted and clean cells
+	// never alias.
+	Fault fault.Config
 }
 
 // Result is one regenerated table/figure.

@@ -163,6 +163,10 @@ func (e *memoEntry) finish(mx *memoCounters, hit bool, shard uint32) {
 // runMemLink is the memoizing front end every driver uses in place of
 // sim.RunMemoryLink. Trace-attached configs bypass the memo.
 func runMemLink(opt Options, cfg sim.MemLinkConfig) (*sim.MemLinkResult, error) {
+	// Fault injection is applied here — the single choke point every
+	// driver goes through — and before Digest(), so faulted cells key
+	// separately from clean ones.
+	cfg.Chip.Fault = opt.Fault
 	mx := memoMetrics()
 	shard := obs.NextShard()
 	if opt.DisableCellMemo || cfg.Trace != nil || cfg.Metrics != nil {
@@ -193,6 +197,7 @@ func runMemLink(opt Options, cfg sim.MemLinkConfig) (*sim.MemLinkResult, error) 
 // runTiming is the memoizing front end every driver uses in place of
 // sim.RunTiming.
 func runTiming(opt Options, cfg sim.TimingConfig) (*sim.TimingResult, error) {
+	cfg.Fault = opt.Fault
 	mx := memoMetrics()
 	shard := obs.NextShard()
 	if opt.DisableCellMemo || cfg.Metrics != nil {

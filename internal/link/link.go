@@ -37,6 +37,26 @@ func (c Config) BytesPerSec() float64 { return c.FreqHz * float64(c.WidthBits) /
 // transport (§VI-E: "a 6-bit value specifying the length in bytes").
 const packedLenBits = 6
 
+// packedLenEscape is the continuation marker of the length prefix: a
+// 6-bit chunk can only represent 0–63 bytes, but a raw 64 B line plus
+// header already exceeds that, so the value 63 means "63 bytes plus the
+// next chunk" and chunks chain until a terminal value < 63 (the escape
+// the original 6-bit field lacked — without it, large transactions were
+// silently under-modeled on the wire).
+const packedLenEscape = 1<<packedLenBits - 1
+
+// packedPrefixBits returns the wire cost of the length prefix for a
+// transaction of nbytes payload bytes under the escape/continuation
+// encoding.
+func packedPrefixBits(nbytes int) int {
+	bits := packedLenBits
+	for nbytes >= packedLenEscape {
+		nbytes -= packedLenEscape
+		bits += packedLenBits
+	}
+	return bits
+}
+
 // Link accumulates traffic statistics for one direction of a channel.
 type Link struct {
 	cfg Config
@@ -89,7 +109,7 @@ func (l *Link) Send(nbits int) int {
 	l.PayloadBits += uint64(nbits)
 	var wire int
 	if l.cfg.Packed {
-		total := nbits + packedLenBits
+		total := nbits + packedPrefixBits((nbits+7)/8)
 		// Consume the residual of the current flit first.
 		if l.residualBits >= total {
 			l.residualBits -= total
@@ -125,14 +145,24 @@ func (l *Link) SendWire(data []byte, nbits int) int {
 	}
 	before := l.Toggles
 	for off := 0; off < toggleBits; off += w {
+		n := w
+		if off+n > toggleBits {
+			n = toggleBits - off
+		}
 		var word uint64
-		for b := 0; b < w && off+b < toggleBits; b++ {
+		for b := 0; b < n; b++ {
 			byteIdx := (off + b) / 8
 			bit := (data[byteIdx] >> (7 - uint((off+b)%8))) & 1
 			word = word<<1 | uint64(bit)
 		}
-		l.Toggles += uint64(bits.OnesCount64(word ^ l.prevWord))
-		l.prevWord = word
+		// Bit i of word (from the word's MSB at position w-1) is wire
+		// lane i. A partial final word drives only the first n lanes:
+		// left-align it and mask the comparison to the driven lanes, so
+		// undriven wires contribute no toggles and keep their state.
+		word <<= uint(w - n)
+		mask := (^uint64(0) >> uint(64-n)) << uint(w-n)
+		l.Toggles += uint64(bits.OnesCount64((word ^ l.prevWord) & mask))
+		l.prevWord = l.prevWord&^mask | word
 	}
 	l.mx.toggles.Add(l.shard, l.Toggles-before)
 	return wire

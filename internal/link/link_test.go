@@ -145,3 +145,72 @@ func TestEffectiveRatioEmptyLink(t *testing.T) {
 		t.Fatalf("empty link ratio = %v, want 1", r)
 	}
 }
+
+// Regression: the packed transport's 6-bit length prefix can only
+// represent 0–63 bytes, but a raw 64 B line plus header already
+// exceeds that. The escape/continuation encoding (63 = "63 bytes plus
+// next chunk") must kick in exactly at the 63-byte boundary; the
+// pre-fix fixed-width prefix silently under-modeled large frames.
+func TestPackedLengthEscapeBoundary(t *testing.T) {
+	cases := []struct{ nbytes, prefix int }{
+		{0, 6}, {1, 6}, {62, 6},
+		{63, 12}, {64, 12}, {125, 12},
+		{126, 18}, {127, 18},
+	}
+	for _, c := range cases {
+		if got := packedPrefixBits(c.nbytes); got != c.prefix {
+			t.Errorf("packedPrefixBits(%d) = %d, want %d", c.nbytes, got, c.prefix)
+		}
+	}
+
+	// End-to-end through Send: the wire charge is payload + prefix.
+	for _, c := range []struct{ nbytes, wire int }{
+		{62, 62*8 + 6},
+		{63, 63*8 + 12},
+		{64, 64*8 + 12},
+	} {
+		l := New(Config{WidthBits: 16, FreqHz: 1, Packed: true})
+		if got := l.Send(c.nbytes * 8); got != c.wire {
+			t.Errorf("packed Send(%d bytes) charged %d wire bits, want %d", c.nbytes, got, c.wire)
+		}
+	}
+}
+
+// Regression: a payload whose final word drives only part of the bus
+// must count transitions on the driven lanes only; undriven lanes keep
+// their previous state. The pre-fix code compared right-aligned words
+// against the full previous word, so undriven lanes toggled spuriously.
+func TestToggleCountsPartialFinalWordMasked(t *testing.T) {
+	l := New(Config{WidthBits: 16, FreqHz: 1})
+
+	// All 16 lanes rise from idle zero.
+	l.SendWire([]byte{0xFF, 0xFF}, 16)
+	if l.Toggles != 16 {
+		t.Fatalf("full word of ones: %d toggles, want 16", l.Toggles)
+	}
+	// An 8-bit payload drives lanes 15..8, which already carry ones:
+	// no transitions anywhere.
+	l.SendWire([]byte{0xFF}, 8)
+	if l.Toggles != 16 {
+		t.Fatalf("partial word repeating lane state: %d toggles, want 16", l.Toggles)
+	}
+	// Full word of ones again: the undriven lanes 7..0 kept their
+	// ones, so still no transitions. The pre-fix code zeroed them into
+	// the lane state and over-counted 8 here.
+	l.SendWire([]byte{0xFF, 0xFF}, 16)
+	if l.Toggles != 16 {
+		t.Fatalf("undriven lanes lost state: %d toggles, want 16", l.Toggles)
+	}
+	// A non-byte-aligned 5-bit tail 0b10110 drives lanes 15..11 with
+	// 1,0,1,1,0: exactly lanes 14 and 11 fall. 2 new toggles.
+	l.SendWire([]byte{0xB0}, 5)
+	if l.Toggles != 18 {
+		t.Fatalf("5-bit tail: %d toggles, want 18", l.Toggles)
+	}
+	// A 24-bit payload of ones: word 1 re-raises lanes 14 and 11
+	// (2 toggles); the 8-bit tail word repeats ones on 15..8 (0).
+	l.SendWire([]byte{0xFF, 0xFF, 0xFF}, 24)
+	if l.Toggles != 20 {
+		t.Fatalf("multi-word with partial tail: %d toggles, want 20", l.Toggles)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"cable/internal/cache"
 	"cable/internal/compress"
 	"cable/internal/core"
+	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/mem"
 	"cable/internal/obs"
@@ -50,6 +51,13 @@ type ChipConfig struct {
 	// from the replacement-way info embedded in requests. Valid for
 	// 1-1 home mappings (one DRAM buffer behind the LLC), as here.
 	SilentEvictions bool
+	// Fault configures deterministic corruption of the CABLE wire
+	// images (bit flips, truncations). The zero value injects nothing
+	// and leaves every code path byte-identical to a fault-free build;
+	// a non-zero rate routes transfers through the guarded
+	// marshal → corrupt → unmarshal → decode pipeline and degrades
+	// failures to counted raw-transfer fallbacks.
+	Fault fault.Config
 	// Metrics, when non-nil, scopes this chip's obs counters (link
 	// ends, links, scheme meter) to a private registry. Never affects
 	// simulated results; excluded from content digests.
@@ -118,6 +126,15 @@ type Chip struct {
 	// by SendWire before the next marshal.
 	mw bits.Writer
 
+	// injector corrupts CABLE wire images when cfg.Fault is enabled
+	// (nil otherwise — the hot path pays one pointer check).
+	injector *fault.Injector
+	// dmx holds the graceful-degradation counters, resolved lazily on
+	// the first decode error so fault-free runs register no new metric
+	// names (keeping zero-rate `-metrics` dumps byte-identical).
+	dmx    *degradeCounters
+	dshard uint32
+
 	// Stats
 	Accesses  uint64
 	Fills     uint64
@@ -128,6 +145,14 @@ type Chip struct {
 	// Notices counts explicit eviction messages (zero under the
 	// silent-eviction protocol).
 	Notices uint64
+	// FaultsInjected counts transfers whose wire image the injector
+	// altered; DecodeErrors counts transfers the receiver could not
+	// (or must not) reconstruct from the received image; RawFallbacks
+	// counts the uncompressed re-transfers that recovered them. With
+	// injection on, the three stay equal by construction.
+	FaultsInjected uint64
+	DecodeErrors   uint64
+	RawFallbacks   uint64
 }
 
 // NewChip builds a chip over the given backing content function.
@@ -157,6 +182,9 @@ func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
 		}
 		c.Home, c.Remote = he, re
 		c.CableLink = link.NewIn(cfg.Link, cfg.Metrics)
+		// Fault injection targets the CABLE payload stream (the
+		// baseline scheme meters never materialize wire images).
+		c.injector = fault.NewIn(cfg.Fault, cfg.Metrics)
 		return c, nil
 	}
 	m, err := newSchemeMeter(cfg.Scheme, cfg.Link, cfg.Metrics)
@@ -192,6 +220,13 @@ func newSchemeMeter(scheme string, cfg link.Config, reg *obs.Registry) (Meter, e
 func (c *Chip) ResetStats() {
 	c.Accesses, c.Fills, c.WBs, c.Upgrades = 0, 0, 0, 0
 	c.CompOps, c.DecompOps, c.Notices = 0, 0, 0
+	c.FaultsInjected, c.DecodeErrors, c.RawFallbacks = 0, 0, 0
+	if c.injector != nil {
+		// Zero the accounting but keep the rng position: the fault
+		// pattern stays one deterministic stream across warm-up and
+		// measurement.
+		c.injector.Stats = fault.Stats{}
+	}
 	c.cableOwners = map[int]*stats.Ratio{}
 	c.cableTotal = stats.Ratio{}
 	c.LLC.Stats = cache.Stats{}
@@ -260,6 +295,92 @@ func (c *Chip) mutate(data []byte, addr uint64) {
 	data[word*4+3] = 0
 }
 
+// degrade lazily resolves the graceful-degradation counter block: a
+// run that never faults and never mis-decodes registers none of the
+// sim.decode_errors / sim.raw_fallbacks / sim.faults_injected names,
+// keeping zero-rate `-metrics` dumps byte-identical.
+func (c *Chip) degrade() *degradeCounters {
+	if c.dmx == nil {
+		c.dmx, c.dshard = degradeMetricsIn(c.cfg.Metrics)
+	}
+	return c.dmx
+}
+
+func (c *Chip) noteFault() {
+	c.FaultsInjected++
+	c.degrade().faultsInjected.Inc(c.dshard)
+}
+
+func (c *Chip) noteDecodeError() {
+	c.DecodeErrors++
+	c.degrade().decodeErrors.Inc(c.dshard)
+}
+
+// rawResend recovers a failed decode by re-requesting the line as an
+// uncompressed raw transfer, modeling the link-level retransmission a
+// production link pairs with its CRC guard. The retry itself is
+// delivered clean (it is a fresh transmission, not a replay of the
+// corrupted image) and its wire cost is charged on top of the failed
+// attempt. Returns the retry's wire bits.
+func (c *Chip) rawResend(data []byte, ackSeq uint64) int {
+	c.RawFallbacks++
+	c.degrade().rawFallbacks.Inc(c.dshard)
+	p := core.Payload{Raw: data, AckSeq: ackSeq}
+	var enc compress.Encoded
+	if c.injector != nil {
+		enc = p.MarshalGuardedInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
+	} else {
+		enc = p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
+	}
+	return c.CableLink.SendWire(enc.Data, enc.NBits)
+}
+
+// corruptAndDecode runs one guarded payload image through the fault
+// pipeline: marshal with CRC guard, meter the wire, corrupt the image,
+// then unmarshal + decode from what survived. decode is the
+// end-specific reconstruction (fill or write-back); want is the ground
+// truth the simulator holds. It returns the wire bits of the attempt
+// and the decode error to degrade on (nil only for a clean,
+// verified-correct transfer).
+func (c *Chip) corruptAndDecode(p core.Payload, want []byte, lineAddr uint64,
+	decode func(core.Payload) ([]byte, error)) (wire int, derr error) {
+	enc := p.MarshalGuardedInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
+	wire = c.CableLink.SendWire(enc.Data, enc.NBits)
+	nb, corrupted := c.injector.Corrupt(enc.Data, enc.NBits)
+	var got []byte
+	q, derr := core.UnmarshalPayloadGuarded(compress.Encoded{Data: enc.Data, NBits: nb},
+		c.LLC.IndexBits(), c.LLC.WayBits(), c.cfg.LineSize)
+	if derr == nil {
+		// AckSeq rides the transport header, not the marshaled image.
+		q.AckSeq = p.AckSeq
+		got, derr = decode(q)
+		c.DecompOps++
+	}
+	if corrupted {
+		c.noteFault()
+		// Every injector-touched frame is degraded, even the ~2^-8 of
+		// multi-bit patterns that alias the CRC: the simulator's
+		// ground truth catches silent escapes, and frames that decode
+		// bit-exact anyway are still retransmitted (the receiver
+		// cannot distinguish luck from integrity). This keeps
+		// DecodeErrors == FaultsInjected == RawFallbacks exact.
+		if derr == nil && !bytes.Equal(got, want) {
+			derr = fmt.Errorf("sim: corruption of line %#x escaped the CRC guard: %w", lineAddr, core.ErrCRCMismatch)
+		}
+		if derr == nil {
+			derr = fmt.Errorf("sim: corrupted frame for line %#x absorbed: %w", lineAddr, core.ErrCRCMismatch)
+		}
+	} else {
+		if derr != nil && c.cfg.Verify {
+			panic(fmt.Sprintf("sim: decode of clean image for line %#x: %v", lineAddr, derr))
+		}
+		if derr == nil && c.cfg.Verify && !bytes.Equal(got, want) {
+			panic(fmt.Sprintf("sim: clean transfer corrupted for line %#x", lineAddr))
+		}
+	}
+	return wire, derr
+}
+
 // evictLLC processes an LLC eviction: dirty data is write-back
 // compressed over the link; either way the eviction is scrubbed from
 // both ends' structures.
@@ -271,16 +392,32 @@ func (c *Chip) evictLLC(ev cache.Eviction, owner int, t *Transfer) {
 		if c.Remote != nil {
 			p := c.Remote.EncodeWriteback(ev.Data)
 			c.CompOps++
-			got, err := c.Home.DecodeWriteback(p)
-			c.DecompOps++
-			if err != nil {
-				panic(fmt.Sprintf("sim: writeback decode %#x: %v", ev.LineAddr, err))
+			var wire int
+			if c.injector != nil {
+				var derr error
+				wire, derr = c.corruptAndDecode(p, ev.Data, ev.LineAddr, c.Home.DecodeWriteback)
+				if derr != nil {
+					c.noteDecodeError()
+					wire += c.rawResend(ev.Data, p.AckSeq)
+				}
+			} else {
+				got, err := c.Home.DecodeWriteback(p)
+				c.DecompOps++
+				if err != nil && c.cfg.Verify {
+					panic(fmt.Sprintf("sim: writeback decode %#x: %v", ev.LineAddr, err))
+				}
+				if err == nil && c.cfg.Verify && !bytes.Equal(got, ev.Data) {
+					panic(fmt.Sprintf("sim: writeback corrupted for line %#x", ev.LineAddr))
+				}
+				enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
+				wire = c.CableLink.SendWire(enc.Data, p.Bits(c.Remote.RemoteLIDBits()))
+				if err != nil {
+					// Graceful degradation without injection: count
+					// the anomaly and recover via a raw re-transfer.
+					c.noteDecodeError()
+					wire += c.rawResend(ev.Data, p.AckSeq)
+				}
 			}
-			if c.cfg.Verify && !bytes.Equal(got, ev.Data) {
-				panic(fmt.Sprintf("sim: writeback corrupted for line %#x", ev.LineAddr))
-			}
-			enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
-			wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Remote.RemoteLIDBits()))
 			t.WBBits = wire
 			c.cableAccount(owner, lineBits, wire)
 		} else {
@@ -395,20 +532,47 @@ func (c *Chip) Access(a workload.Access, owner int) Transfer {
 	if c.Home != nil {
 		p, lat, err := c.Home.EncodeFill(a.LineAddr, state, way)
 		if err != nil {
+			// Encode runs against the sender's own structures; failure
+			// here is a simulator invariant violation, not a link
+			// fault, so it stays fatal regardless of cfg.Verify.
 			panic(fmt.Sprintf("sim: encode fill %#x: %v", a.LineAddr, err))
 		}
 		c.CompOps++
 		t.Latency = lat
-		data, err := c.Remote.DecodeFill(p)
-		c.DecompOps++
-		if err != nil {
-			panic(fmt.Sprintf("sim: decode fill %#x: %v", a.LineAddr, err))
+		var data []byte
+		var wire int
+		if c.injector != nil {
+			var derr error
+			wire, derr = c.corruptAndDecode(p, want, a.LineAddr, c.Remote.DecodeFill)
+			if derr != nil {
+				c.noteDecodeError()
+				wire += c.rawResend(want, p.AckSeq)
+				data = want
+			} else {
+				// Clean transfers decoded bit-exact; install the
+				// ground-truth copy (scratch aliasing makes the
+				// decoded buffer unsafe to hold across the resend
+				// bookkeeping above, and the bytes are equal).
+				data = want
+			}
+		} else {
+			var derr error
+			data, derr = c.Remote.DecodeFill(p)
+			c.DecompOps++
+			if derr != nil && c.cfg.Verify {
+				panic(fmt.Sprintf("sim: decode fill %#x: %v", a.LineAddr, derr))
+			}
+			if derr == nil && c.cfg.Verify && !bytes.Equal(data, want) {
+				panic(fmt.Sprintf("sim: fill corrupted for line %#x", a.LineAddr))
+			}
+			enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
+			wire = c.CableLink.SendWire(enc.Data, p.Bits(c.Home.RemoteLIDBits()))
+			if derr != nil {
+				c.noteDecodeError()
+				wire += c.rawResend(want, p.AckSeq)
+				data = want
+			}
 		}
-		if c.cfg.Verify && !bytes.Equal(data, want) {
-			panic(fmt.Sprintf("sim: fill corrupted for line %#x", a.LineAddr))
-		}
-		enc := p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
-		wire := c.CableLink.SendWire(enc.Data, p.Bits(c.Home.RemoteLIDBits()))
 		t.FillBits = wire
 		c.cableAccount(owner, lineBits, wire)
 		c.silentDisplace(victim, haveVictim, owner, &t)

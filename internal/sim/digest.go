@@ -5,6 +5,7 @@ import (
 
 	"cable/internal/cache"
 	"cable/internal/core"
+	"cable/internal/fault"
 	"cable/internal/link"
 )
 
@@ -101,6 +102,12 @@ func (d *digester) linkConfig(c link.Config) {
 
 func (d *digester) policy(p cache.Policy) { d.byte(byte(p)) }
 
+func (d *digester) faultConfig(c fault.Config) {
+	d.f64(c.BitRate)
+	d.f64(c.TruncRate)
+	d.u64(c.Seed)
+}
+
 func (d *digester) chipConfig(c ChipConfig) {
 	d.i(c.LLCBytes)
 	d.i(c.LLCWays)
@@ -116,6 +123,9 @@ func (d *digester) chipConfig(c ChipConfig) {
 	d.bool(c.Verify)
 	d.bool(c.TagPointers)
 	d.bool(c.SilentEvictions)
+	// Fault is behavioral: injected corruption changes wire bits and
+	// the degradation counters, so it must split memo cells.
+	d.faultConfig(c.Fault)
 	// c.Metrics is observation-only: excluded.
 }
 
@@ -170,5 +180,6 @@ func (c TimingConfig) Digest() Digest {
 	d.f64(c.SampleWindowSec)
 	d.bool(c.NoWorkingSetScale)
 	d.bool(c.Verify)
+	d.faultConfig(c.Fault)
 	return d.sum()
 }

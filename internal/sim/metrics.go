@@ -37,3 +37,29 @@ func simMetricsIn(reg *obs.Registry) (*simCounters, uint32) {
 	sc := newSimCounters(reg)
 	return &sc, obs.NextShard()
 }
+
+// degradeCounters aggregate the graceful-degradation events of the
+// protocol drivers: injector-touched transfers, decode failures, and
+// the raw re-transfers that recovered them. The block is resolved
+// lazily — on the first fault or decode error — so a fault-free run
+// registers none of these names and its deterministic `-metrics` dump
+// stays byte-identical to a build without the fault layer.
+type degradeCounters struct {
+	faultsInjected *obs.Counter
+	decodeErrors   *obs.Counter
+	rawFallbacks   *obs.Counter
+}
+
+// degradeMetricsIn resolves the block against reg (nil means the
+// process default). Registry lookups are idempotent, so every caller
+// shares the underlying counters while drawing a private shard.
+func degradeMetricsIn(reg *obs.Registry) (*degradeCounters, uint32) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &degradeCounters{
+		faultsInjected: reg.Counter("sim.faults_injected"),
+		decodeErrors:   reg.Counter("sim.decode_errors"),
+		rawFallbacks:   reg.Counter("sim.raw_fallbacks"),
+	}, obs.NextShard()
+}

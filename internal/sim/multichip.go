@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"cable/internal/cache"
+	"cable/internal/compress"
 	"cable/internal/core"
+	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/mem"
 	"cable/internal/stats"
@@ -39,6 +41,16 @@ type MultiChipConfig struct {
 	// PooledWMTFactor scales pool capacity relative to the remote
 	// cache's line count (default 0.5 when pooled).
 	PooledWMTFactor float64
+	// Verify checks every decode bit-exact against the home data and
+	// panics on mismatch. Defaults on; the fault-soak runs disable it
+	// to prove graceful degradation.
+	Verify bool
+	// Fault configures deterministic corruption of the coherence-link
+	// wire images. One injector covers all node-pair links in access
+	// order, so the fault pattern is a pure function of (seed,
+	// transfer stream). The zero value injects nothing and keeps every
+	// code path byte-identical to a fault-free build.
+	Fault fault.Config
 }
 
 // DefaultMultiChipConfig is the paper's 4-node setup.
@@ -53,6 +65,7 @@ func DefaultMultiChipConfig(benchmark string) MultiChipConfig {
 		Link:       link.DefaultConfig(),
 		Cable:      cable,
 		WithMeters: true,
+		Verify:     true,
 	}
 }
 
@@ -75,6 +88,12 @@ type MultiChipResult struct {
 	RemoteFills, DirtyWBs uint64
 	// LocalAccesses never crossed a link.
 	LocalAccesses uint64
+	// FaultsInjected / DecodeErrors / RawFallbacks account the
+	// graceful-degradation pipeline (zero in fault-free runs; equal to
+	// each other by construction with injection on).
+	FaultsInjected uint64
+	DecodeErrors   uint64
+	RawFallbacks   uint64
 }
 
 // Ratio returns a scheme's aggregate ratio.
@@ -131,6 +150,64 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		links[h] = cl
 	}
 	res := &MultiChipResult{Total: map[string]stats.Ratio{}}
+	injector := fault.New(cfg.Fault)
+	var dmx *degradeCounters
+	var dshard uint32
+	degrade := func() *degradeCounters {
+		if dmx == nil {
+			dmx, dshard = degradeMetricsIn(nil)
+		}
+		return dmx
+	}
+	// rawResend recovers a failed decode with an uncompressed raw
+	// re-transfer (delivered clean — a fresh transmission, not a replay
+	// of the corrupted image), charged on top of the failed attempt.
+	rawResend := func(cl *coherenceLink, data []byte, ackSeq uint64) int {
+		res.RawFallbacks++
+		degrade().rawFallbacks.Inc(dshard)
+		p := core.Payload{Raw: data, AckSeq: ackSeq}
+		var enc compress.Encoded
+		if injector != nil {
+			enc = p.MarshalGuarded(reqLLC.IndexBits(), reqLLC.WayBits())
+		} else {
+			enc = p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+		}
+		return cl.lnk.SendWire(enc.Data, enc.NBits)
+	}
+	// corruptAndDecode runs one guarded payload image over cl's link
+	// through the fault pipeline; see Chip.corruptAndDecode for the
+	// accounting contract.
+	corruptAndDecode := func(cl *coherenceLink, p core.Payload, want []byte, lineAddr uint64,
+		decode func(core.Payload) ([]byte, error)) (wire int, derr error) {
+		enc := p.MarshalGuarded(reqLLC.IndexBits(), reqLLC.WayBits())
+		wire = cl.lnk.SendWire(enc.Data, enc.NBits)
+		nb, corrupted := injector.Corrupt(enc.Data, enc.NBits)
+		var got []byte
+		q, derr := core.UnmarshalPayloadGuarded(compress.Encoded{Data: enc.Data, NBits: nb},
+			reqLLC.IndexBits(), reqLLC.WayBits(), 64)
+		if derr == nil {
+			q.AckSeq = p.AckSeq
+			got, derr = decode(q)
+		}
+		if corrupted {
+			res.FaultsInjected++
+			degrade().faultsInjected.Inc(dshard)
+			if derr == nil && !bytes.Equal(got, want) {
+				derr = fmt.Errorf("sim: corruption of line %#x escaped the CRC guard: %w", lineAddr, core.ErrCRCMismatch)
+			}
+			if derr == nil {
+				derr = fmt.Errorf("sim: corrupted frame for line %#x absorbed: %w", lineAddr, core.ErrCRCMismatch)
+			}
+		} else {
+			if derr != nil && cfg.Verify {
+				panic(fmt.Sprintf("sim: multichip decode of clean image %#x: %v", lineAddr, derr))
+			}
+			if derr == nil && cfg.Verify && !bytes.Equal(got, want) {
+				panic(fmt.Sprintf("sim: multichip clean transfer corrupted %#x", lineAddr))
+			}
+		}
+		return wire, derr
+	}
 	writeVersions := map[uint64]uint32{}
 	mutate := func(data []byte, addr uint64) {
 		v := writeVersions[addr]
@@ -157,20 +234,39 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		if ev.State == cache.Modified {
 			res.DirtyWBs++
 			p := cl.re.EncodeWriteback(ev.Data)
-			got, err := cl.he.DecodeWriteback(p)
-			if err != nil {
-				panic(fmt.Sprintf("sim: multichip WB decode %#x: %v", ev.LineAddr, err))
+			var wire int
+			if injector != nil {
+				var derr error
+				wire, derr = corruptAndDecode(cl, p, ev.Data, ev.LineAddr, cl.he.DecodeWriteback)
+				if derr != nil {
+					res.DecodeErrors++
+					degrade().decodeErrors.Inc(dshard)
+					wire += rawResend(cl, ev.Data, p.AckSeq)
+				}
+			} else {
+				got, err := cl.he.DecodeWriteback(p)
+				if err != nil && cfg.Verify {
+					panic(fmt.Sprintf("sim: multichip WB decode %#x: %v", ev.LineAddr, err))
+				}
+				if err == nil && cfg.Verify && !bytes.Equal(got, ev.Data) {
+					panic(fmt.Sprintf("sim: multichip WB corrupted %#x", ev.LineAddr))
+				}
+				enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+				wire = cl.lnk.SendWire(enc.Data, enc.NBits)
+				if err != nil {
+					res.DecodeErrors++
+					degrade().decodeErrors.Inc(dshard)
+					wire += rawResend(cl, ev.Data, p.AckSeq)
+				}
 			}
-			if !bytes.Equal(got, ev.Data) {
-				panic(fmt.Sprintf("sim: multichip WB corrupted %#x", ev.LineAddr))
-			}
-			enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
-			cl.ratio.Add(len(ev.Data)*8, cl.lnk.SendWire(enc.Data, enc.NBits))
+			cl.ratio.Add(len(ev.Data)*8, wire)
 			for _, m := range cl.meters {
 				m.OnWriteback(ev.Data, 0)
 			}
+			// The home copy absorbs the requester's dirty data (what
+			// the decode reconstructed, or the raw retry delivered).
 			if hl, _, ok := cl.homeLLC.Probe(ev.LineAddr); ok {
-				copy(hl.Data, got)
+				copy(hl.Data, ev.Data)
 				hl.State = cache.Modified
 			} else {
 				panic(fmt.Sprintf("sim: multichip inclusivity violated for %#x", ev.LineAddr))
@@ -241,18 +337,41 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		res.RemoteFills++
 		p, _, err := cl.he.EncodeFill(a.LineAddr, state, way)
 		if err != nil {
+			// Encode failure is a sender-side invariant violation, not
+			// a link fault: always fatal.
 			panic(fmt.Sprintf("sim: multichip fill %#x: %v", a.LineAddr, err))
 		}
-		data, err := cl.re.DecodeFill(p)
-		if err != nil {
-			panic(fmt.Sprintf("sim: multichip decode %#x: %v", a.LineAddr, err))
-		}
 		want, _, _ := cl.homeLLC.Probe(a.LineAddr)
-		if !bytes.Equal(data, want.Data) {
-			panic(fmt.Sprintf("sim: multichip fill corrupted %#x", a.LineAddr))
+		var data []byte
+		var wire int
+		if injector != nil {
+			var derr error
+			wire, derr = corruptAndDecode(cl, p, want.Data, a.LineAddr, cl.re.DecodeFill)
+			if derr != nil {
+				res.DecodeErrors++
+				degrade().decodeErrors.Inc(dshard)
+				wire += rawResend(cl, want.Data, p.AckSeq)
+			}
+			data = want.Data
+		} else {
+			var derr error
+			data, derr = cl.re.DecodeFill(p)
+			if derr != nil && cfg.Verify {
+				panic(fmt.Sprintf("sim: multichip decode %#x: %v", a.LineAddr, derr))
+			}
+			if derr == nil && cfg.Verify && !bytes.Equal(data, want.Data) {
+				panic(fmt.Sprintf("sim: multichip fill corrupted %#x", a.LineAddr))
+			}
+			enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+			wire = cl.lnk.SendWire(enc.Data, enc.NBits)
+			if derr != nil {
+				res.DecodeErrors++
+				degrade().decodeErrors.Inc(dshard)
+				wire += rawResend(cl, want.Data, p.AckSeq)
+				data = want.Data
+			}
 		}
-		enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
-		cl.ratio.Add(len(data)*8, cl.lnk.SendWire(enc.Data, enc.NBits))
+		cl.ratio.Add(len(data)*8, wire)
 		for _, m := range cl.meters {
 			m.OnFill(want.Data, 0)
 		}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"cable/internal/cache"
+	"cable/internal/compress"
 	"cable/internal/core"
+	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/mem"
 	"cable/internal/stats"
@@ -33,6 +35,14 @@ type NonInclusiveConfig struct {
 	HomeWays  int
 	Link      link.Config
 	Cable     core.Config
+	// Verify checks every decode bit-exact against the sent data and
+	// panics on mismatch. Defaults on; the fault-soak runs disable it
+	// to prove graceful degradation.
+	Verify bool
+	// Fault configures deterministic corruption of the wire images.
+	// The zero value injects nothing and keeps every code path
+	// byte-identical to a fault-free build.
+	Fault fault.Config
 }
 
 // DefaultNonInclusiveConfig mirrors the memory-link setup with a
@@ -45,8 +55,9 @@ func DefaultNonInclusiveConfig(benchmark string) NonInclusiveConfig {
 		Accesses:    60000,
 		RemoteBytes: 1 << 20, RemoteWays: 8,
 		HomeBytes: 2 << 20, HomeWays: 16,
-		Link:  link.DefaultConfig(),
-		Cable: cable,
+		Link:   link.DefaultConfig(),
+		Cable:  cable,
+		Verify: true,
 	}
 }
 
@@ -60,6 +71,12 @@ type NonInclusiveResult struct {
 	CachedFills uint64
 	WBs         uint64
 	HomeEvicts  uint64
+	// FaultsInjected / DecodeErrors / RawFallbacks account the
+	// graceful-degradation pipeline (zero in fault-free runs; equal to
+	// each other by construction with injection on).
+	FaultsInjected uint64
+	DecodeErrors   uint64
+	RawFallbacks   uint64
 }
 
 // RunNonInclusive executes the non-inclusive simulation.
@@ -81,6 +98,62 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	}
 	lnk := link.New(cfg.Link)
 	res := &NonInclusiveResult{}
+	injector := fault.New(cfg.Fault)
+	var dmx *degradeCounters
+	var dshard uint32
+	degrade := func() *degradeCounters {
+		if dmx == nil {
+			dmx, dshard = degradeMetricsIn(nil)
+		}
+		return dmx
+	}
+	// rawResend recovers a failed decode with an uncompressed raw
+	// re-transfer, delivered clean and charged on top of the attempt.
+	rawResend := func(data []byte, ackSeq uint64) int {
+		res.RawFallbacks++
+		degrade().rawFallbacks.Inc(dshard)
+		p := core.Payload{Raw: data, AckSeq: ackSeq}
+		var enc compress.Encoded
+		if injector != nil {
+			enc = p.MarshalGuarded(remote.IndexBits(), remote.WayBits())
+		} else {
+			enc = p.Marshal(remote.IndexBits(), remote.WayBits())
+		}
+		return lnk.SendWire(enc.Data, enc.NBits)
+	}
+	// corruptAndDecode runs one guarded payload image through the fault
+	// pipeline; see Chip.corruptAndDecode for the accounting contract.
+	corruptAndDecode := func(p core.Payload, want []byte, lineAddr uint64,
+		decode func(core.Payload) ([]byte, error)) (wire int, derr error) {
+		enc := p.MarshalGuarded(remote.IndexBits(), remote.WayBits())
+		wire = lnk.SendWire(enc.Data, enc.NBits)
+		nb, corrupted := injector.Corrupt(enc.Data, enc.NBits)
+		var got []byte
+		q, derr := core.UnmarshalPayloadGuarded(compress.Encoded{Data: enc.Data, NBits: nb},
+			remote.IndexBits(), remote.WayBits(), 64)
+		if derr == nil {
+			q.AckSeq = p.AckSeq
+			got, derr = decode(q)
+		}
+		if corrupted {
+			res.FaultsInjected++
+			degrade().faultsInjected.Inc(dshard)
+			if derr == nil && !bytes.Equal(got, want) {
+				derr = fmt.Errorf("sim: corruption of line %#x escaped the CRC guard: %w", lineAddr, core.ErrCRCMismatch)
+			}
+			if derr == nil {
+				derr = fmt.Errorf("sim: corrupted frame for line %#x absorbed: %w", lineAddr, core.ErrCRCMismatch)
+			}
+		} else {
+			if derr != nil && cfg.Verify {
+				panic(fmt.Sprintf("sim: non-inclusive decode of clean image %#x: %v", lineAddr, derr))
+			}
+			if derr == nil && cfg.Verify && !bytes.Equal(got, want) {
+				panic(fmt.Sprintf("sim: non-inclusive clean transfer corrupted %#x", lineAddr))
+			}
+		}
+		return wire, derr
+	}
 	writeVersions := map[uint64]uint32{}
 	mutate := func(data []byte, addr uint64) {
 		v := writeVersions[addr]
@@ -133,20 +206,44 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 				res.WBs++
 				p := re.EncodeWriteback(ev.Data)
 				if len(p.Refs) != 0 {
+					// Sender-side protocol invariant (§IV-C), not a
+					// link fault: always fatal.
 					panic("sim: non-inclusive WB used references")
 				}
-				got, err := he.DecodeWriteback(p)
-				if err != nil {
-					panic(fmt.Sprintf("sim: non-inclusive WB decode: %v", err))
+				var wire int
+				if injector != nil {
+					var derr error
+					wire, derr = corruptAndDecode(p, ev.Data, ev.LineAddr, he.DecodeWriteback)
+					if derr != nil {
+						res.DecodeErrors++
+						degrade().decodeErrors.Inc(dshard)
+						wire += rawResend(ev.Data, p.AckSeq)
+					}
+				} else {
+					got, err := he.DecodeWriteback(p)
+					if err != nil && cfg.Verify {
+						panic(fmt.Sprintf("sim: non-inclusive WB decode: %v", err))
+					}
+					if err == nil && cfg.Verify && !bytes.Equal(got, ev.Data) {
+						panic(fmt.Sprintf("sim: non-inclusive WB corrupted %#x", ev.LineAddr))
+					}
+					enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+					wire = lnk.SendWire(enc.Data, enc.NBits)
+					if err != nil {
+						res.DecodeErrors++
+						degrade().decodeErrors.Inc(dshard)
+						wire += rawResend(ev.Data, p.AckSeq)
+					}
 				}
-				enc := p.Marshal(remote.IndexBits(), remote.WayBits())
-				res.Cable.Add(len(ev.Data)*8, lnk.SendWire(enc.Data, enc.NBits))
-				// The home may or may not cache the WB; it caches.
+				res.Cable.Add(len(ev.Data)*8, wire)
+				// The home may or may not cache the WB; it caches. It
+				// absorbs the remote's dirty data (what the decode
+				// reconstructed, or the raw retry delivered).
 				if hl, _, ok := home.Probe(ev.LineAddr); ok {
-					copy(hl.Data, got)
+					copy(hl.Data, ev.Data)
 					hl.State = cache.Modified
 				} else {
-					store.Write(ev.LineAddr, got)
+					store.Write(ev.LineAddr, ev.Data)
 				}
 			}
 			seq := re.OnEviction(ev.ID, ev.Data)
@@ -171,17 +268,40 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		}
 		p, _, err := he.EncodeFillData(a.LineAddr, data, state, way)
 		if err != nil {
+			// Encode failure is a sender-side invariant violation, not
+			// a link fault: always fatal.
 			panic(fmt.Sprintf("sim: non-inclusive fill: %v", err))
 		}
-		got, err := re.DecodeFill(p)
-		if err != nil {
-			panic(fmt.Sprintf("sim: non-inclusive decode %#x: %v", a.LineAddr, err))
+		var got []byte
+		var wire int
+		if injector != nil {
+			var derr error
+			wire, derr = corruptAndDecode(p, data, a.LineAddr, re.DecodeFill)
+			if derr != nil {
+				res.DecodeErrors++
+				degrade().decodeErrors.Inc(dshard)
+				wire += rawResend(data, p.AckSeq)
+			}
+			got = data
+		} else {
+			var derr error
+			got, derr = re.DecodeFill(p)
+			if derr != nil && cfg.Verify {
+				panic(fmt.Sprintf("sim: non-inclusive decode %#x: %v", a.LineAddr, derr))
+			}
+			if derr == nil && cfg.Verify && !bytes.Equal(got, data) {
+				panic(fmt.Sprintf("sim: non-inclusive fill corrupted %#x", a.LineAddr))
+			}
+			enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+			wire = lnk.SendWire(enc.Data, enc.NBits)
+			if derr != nil {
+				res.DecodeErrors++
+				degrade().decodeErrors.Inc(dshard)
+				wire += rawResend(data, p.AckSeq)
+				got = data
+			}
 		}
-		if !bytes.Equal(got, data) {
-			panic(fmt.Sprintf("sim: non-inclusive fill corrupted %#x", a.LineAddr))
-		}
-		enc := p.Marshal(remote.IndexBits(), remote.WayBits())
-		res.Cable.Add(len(data)*8, lnk.SendWire(enc.Data, enc.NBits))
+		res.Cable.Add(len(data)*8, wire)
 		remote.InsertAt(a.LineAddr, got, state, way)
 		re.OnFillInstalled(cache.LineID{Index: idx, Way: way}, got, state)
 		re.OnAck(p.AckSeq)

@@ -6,6 +6,7 @@ import (
 
 	"cable/internal/core"
 	"cable/internal/dram"
+	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/obs"
 	"cable/internal/workload"
@@ -64,6 +65,10 @@ type TimingConfig struct {
 	NoWorkingSetScale bool
 	// Verify keeps bit-exact payload checking on.
 	Verify bool
+	// Fault configures deterministic corruption of the CABLE wire
+	// images (see ChipConfig.Fault). Only meaningful when Scheme is
+	// "cable"; the zero value injects nothing.
+	Fault fault.Config
 	// Metrics, when non-nil, scopes the simulation's obs counters to a
 	// private registry (see MemLinkConfig.Metrics). Never affects
 	// simulated results; excluded from content digests.
@@ -159,6 +164,7 @@ func RunTiming(cfg TimingConfig) (*TimingResult, error) {
 		Cable:    cfg.Cable,
 		Scheme:   cfg.Scheme,
 		Verify:   cfg.Verify,
+		Fault:    cfg.Fault,
 		Metrics:  cfg.Metrics,
 	}
 	spec, err := workload.ByName(cfg.Benchmark)
