@@ -24,6 +24,7 @@ check:
 	go test -race -count=1 ./internal/fault
 	go test -race -count=1 -run 'FaultSoak|FaultDeterminism|ZeroRateInert' ./internal/sim
 	go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
+	go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
 	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -race -timeout 45m ./...
 
@@ -33,11 +34,14 @@ bench:
 	go test -run xxx -bench 'BenchmarkEncodeFill|BenchmarkDecodeFill|BenchmarkEngineCompress' -benchmem -count 10 .
 
 # bench-json snapshots the headline benchmarks (end-to-end protocol,
-# full quick-scale report, hot encode path) as committed JSON, so perf
-# PRs carry machine-readable before/after numbers.
+# full quick-scale report, hot encode path, and the word-level bit-IO /
+# signature-scan kernels) as committed JSON, so perf PRs carry
+# machine-readable before/after numbers.
 bench-json:
-	go test -run xxx -bench 'BenchmarkMemLinkProtocol$$|BenchmarkRunAllSerial$$|BenchmarkEncodeFill$$' -benchmem -count 1 . \
-		| go run ./tools/benchjson > BENCH_pr3.json
+	{ go test -run xxx -bench 'BenchmarkMemLinkProtocol$$|BenchmarkRunAllSerial$$|BenchmarkEncodeFill$$' -benchmem -count 1 . ; \
+	  go test -run xxx -bench 'BenchmarkWriteBits$$|BenchmarkReadBits$$' -benchmem -count 1 ./internal/bits ; \
+	  go test -run xxx -bench 'BenchmarkSigScan$$' -benchmem -count 1 ./internal/sig ; } \
+		| go run ./tools/benchjson > BENCH_pr5.json
 
 report:
 	go run ./cmd/cablereport -quick

@@ -44,6 +44,12 @@ echo "== payload fault fuzz smoke"
 # truncations must surface as classified errors, never panics.
 go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
 
+echo "== bit-IO word/reference parity fuzz smoke"
+# Differential fuzz of the word-at-a-time bit stream against the
+# retained per-bit reference implementation: random widths, interleaved
+# bit/byte ops, truncated streams — images must stay byte-identical.
+go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
+
 echo "== fault-injected determinism (same seed+rate, any -parallel)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

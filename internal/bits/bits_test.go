@@ -159,6 +159,25 @@ func BenchmarkWriteBits(b *testing.B) {
 	}
 }
 
+func BenchmarkReadBits(b *testing.B) {
+	var w Writer
+	const n = 1024
+	for i := 0; i < n; i++ {
+		w.WriteBits(uint64(i), 17)
+	}
+	buf, nbits := w.Bytes(), w.Len()
+	var r Reader
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			r.Reset(buf, nbits)
+		}
+		if _, err := r.ReadBits(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Regression: a Reader whose declared length exceeds its physical
 // buffer (a truncated wire image) must clamp and error, never index
 // past the buffer. The pre-fix code panicked with an out-of-range

@@ -1,0 +1,124 @@
+package bits
+
+import "fmt"
+
+// This file retains the original per-bit Writer/Reader implementations
+// as unexported reference models. They are the executable specification
+// of the wire format: the word-at-a-time implementations in bits.go must
+// produce and consume byte-identical streams, which the differential
+// tests and FuzzBitsWordParity assert against these.
+
+// refWriter is the per-bit reference implementation of Writer.
+type refWriter struct {
+	buf   []byte
+	nbits int
+}
+
+func (w *refWriter) len() int { return w.nbits }
+
+func (w *refWriter) bytes() []byte { return w.buf }
+
+func (w *refWriter) writeBit(b uint) {
+	if w.nbits%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b&1 != 0 {
+		w.buf[w.nbits/8] |= 0x80 >> uint(w.nbits%8)
+	}
+	w.nbits++
+}
+
+func (w *refWriter) writeBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits width %d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(uint(v >> uint(i)))
+	}
+}
+
+func (w *refWriter) writeBytes(p []byte) {
+	for _, b := range p {
+		w.writeBits(uint64(b), 8)
+	}
+}
+
+func (w *refWriter) writeStream(p []byte, nbits int) {
+	r := &refReader{}
+	r.reset(p, nbits)
+	for r.remaining() > 0 {
+		b, _ := r.readBit()
+		w.writeBit(b)
+	}
+}
+
+func (w *refWriter) reset() {
+	w.buf = w.buf[:0]
+	w.nbits = 0
+}
+
+// refReader is the per-bit reference implementation of Reader.
+type refReader struct {
+	buf   []byte
+	nbits int
+	pos   int
+	short bool
+}
+
+func (r *refReader) reset(buf []byte, nbits int) {
+	r.buf, r.nbits, r.pos, r.short = buf, nbits, 0, false
+	if r.nbits < 0 {
+		r.nbits, r.short = 0, true
+	}
+	if max := 8 * len(buf); r.nbits > max {
+		r.nbits, r.short = max, true
+	}
+}
+
+func (r *refReader) err() error {
+	if r.short {
+		return fmt.Errorf("bits: stream declared longer than its %d-byte buffer", len(r.buf))
+	}
+	return nil
+}
+
+func (r *refReader) remaining() int { return r.nbits - r.pos }
+
+func (r *refReader) readBit() (uint, error) {
+	if r.pos >= r.nbits {
+		if r.short {
+			return 0, fmt.Errorf("bits: read past end of truncated %d-bit stream", r.nbits)
+		}
+		return 0, fmt.Errorf("bits: read past end of %d-bit stream", r.nbits)
+	}
+	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	r.pos++
+	return b, nil
+}
+
+func (r *refReader) readBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bits: ReadBits width %d out of range", n)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+func (r *refReader) readBytes(n int) ([]byte, error) {
+	p := make([]byte, n)
+	for i := range p {
+		v, err := r.readBits(8)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = byte(v)
+	}
+	return p, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cable/internal/bits"
+	"cable/internal/sig"
 )
 
 // BDI implements Base-Delta-Immediate compression (Pekhimenko et al.,
@@ -120,7 +121,7 @@ func bdiSizeBits(tag int, nVals int) int {
 // Compress implements Engine. BDI has no dictionary; refs are ignored.
 func (*BDI) Compress(line []byte, refs [][]byte) Encoded {
 	var w bits.Writer
-	if allZero(line) {
+	if sig.ZeroLine(line) {
 		w.WriteBits(bdiZeros, bdiTagBits)
 		return Encoded{Data: w.Bytes(), NBits: w.Len()}
 	}
@@ -177,28 +178,47 @@ func deltaMask(bytes int) uint64 {
 }
 
 // Decompress implements Engine.
-func (*BDI) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
-	r := enc.Reader()
+func (b *BDI) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	// A local scratch keeps one code path; the result is uniquely
+	// owned because the scratch dies here.
+	var s DecScratch
+	return b.DecompressScratch(&s, enc, refs, lineSize)
+}
+
+// DecompressScratch implements ScratchDecoder: the bit reader and the
+// result bytes live in s, so steady-state decodes allocate nothing. The
+// result aliases s.
+func (*BDI) DecompressScratch(s *DecScratch, enc Encoded, refs [][]byte, lineSize int) ([]byte, error) {
+	s.r.Reset(enc.Data, enc.NBits)
+	r := &s.r
 	tag64, err := r.ReadBits(bdiTagBits)
 	if err != nil {
 		return nil, fmt.Errorf("bdi: %w", err)
 	}
 	tag := int(tag64)
+	if cap(s.res) < lineSize {
+		s.res = make([]byte, lineSize)
+	}
+	line := s.res[:lineSize]
 	switch tag {
 	case bdiZeros:
-		return make([]byte, lineSize), nil
+		clear(line)
+		return line, nil
 	case bdiRep8:
 		v, err := r.ReadBits(64)
 		if err != nil {
 			return nil, err
 		}
-		line := make([]byte, lineSize)
 		for i := 0; i < lineSize; i += 8 {
 			binary.LittleEndian.PutUint64(line[i:], v)
 		}
 		return line, nil
 	case bdiRaw:
-		return r.ReadBytes(lineSize)
+		res, err := r.AppendBytes(line[:0], lineSize)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	l, ok := bdiLayouts[tag]
 	if !ok {
@@ -209,7 +229,9 @@ func (*BDI) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error)
 		return nil, err
 	}
 	n := lineSize / l.base
-	line := make([]byte, lineSize)
+	if n*l.base != lineSize {
+		clear(line) // segments don't cover the tail; keep it zero
+	}
 	for i := 0; i < n; i++ {
 		imm, err := r.ReadBit()
 		if err != nil {
@@ -237,15 +259,6 @@ func (*BDI) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, error)
 		}
 	}
 	return line, nil
-}
-
-func allZero(p []byte) bool {
-	for _, b := range p {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
 }
 
 func repeated8(line []byte) (uint64, bool) {

@@ -41,10 +41,7 @@ func (*FPC) Compress(line []byte, refs [][]byte) Encoded {
 	for p := 0; p < len(words); {
 		word := words[p]
 		if word == 0 {
-			run := 0
-			for run < 8 && p+run < len(words) && words[p+run] == 0 {
-				run++
-			}
+			run := zeroRun32(words[p:], 8)
 			w.WriteBits(0b000, 3)
 			w.WriteBits(uint64(run-1), 3)
 			p += run

@@ -62,14 +62,12 @@ func (d *lbeDict) push(w uint32) {
 }
 
 // longestRun finds the dictionary position giving the longest run match
-// for src starting at word position p.
+// for src starting at word position p. Run extension is word-packed
+// (matchLen32), two dictionary words per comparison.
 func (d *lbeDict) longestRun(src []uint32, p int) (idx, length int) {
 	best, bestIdx := 0, -1
 	for i := range d.words {
-		l := 0
-		for l < lbeMaxRun && p+l < len(src) && i+l < len(d.words) && d.words[i+l] == src[p+l] {
-			l++
-		}
+		l := matchLen32(d.words[i:], src[p:], lbeMaxRun)
 		if l > best {
 			best, bestIdx = l, i
 		}
@@ -127,10 +125,7 @@ func (l *LBE) CompressScratch(s *Scratch, line []byte, refs [][]byte) Encoded {
 	w.Reset()
 	for p := 0; p < len(src); {
 		// Zero run.
-		zl := 0
-		for zl < lbeMaxRun && p+zl < len(src) && src[p+zl] == 0 {
-			zl++
-		}
+		zl := zeroRun32(src[p:], lbeMaxRun)
 		idx, rl := d.longestRun(src, p)
 		// Cost per option, in saved bits vs. literals (32+2 each).
 		// Prefer the option covering the most words; ties favor the

@@ -109,14 +109,7 @@ func (z *LZSS) findMatch(src []byte, cur int) (dist, length int) {
 		if h < 0 {
 			continue
 		}
-		l := 0
-		max := lzssMaxMatch
-		if len(src) < max {
-			max = len(src)
-		}
-		for l < max && h+l < len(z.history) && z.history[h+l] == src[l] {
-			l++
-		}
+		l := matchLen(z.history[h:], src, lzssMaxMatch)
 		if l > best {
 			best, bestDist = l, d
 			if best == lzssMaxMatch {
@@ -165,7 +158,9 @@ func (z *LZSS) Compress(line []byte) Encoded {
 // earlier position in the same line. A match of length l at distance d
 // is valid iff line[p+i] == line[p+i-d] for all i < l — exactly the
 // sequence a byte-at-a-time decoder reproduces, so d < l (overlap) is
-// legal.
+// legal. Each position compares against the original line contents on
+// both sides, so the word-packed matchLen over the two (overlapping)
+// views computes the same predicate as the scalar loop.
 func intraLineMatch(line []byte, p int) (dist, length int) {
 	best, bestDist := 0, 0
 	max := lzssMaxMatch
@@ -173,10 +168,7 @@ func intraLineMatch(line []byte, p int) (dist, length int) {
 		max = len(line) - p
 	}
 	for d := 1; d <= p; d++ {
-		l := 0
-		for l < max && line[p+l] == line[p+l-d] {
-			l++
-		}
+		l := matchLen(line[p-d:], line[p:], max)
 		if l > best {
 			best, bestDist = l, d
 			if best == max {

@@ -54,11 +54,7 @@ func (o *Oracle) Compress(line []byte, refs [][]byte) Encoded {
 	} else {
 		w.WriteBit(0)
 	}
-	r := best.Reader()
-	for r.Remaining() > 0 {
-		b, _ := r.ReadBit()
-		w.WriteBit(b)
-	}
+	w.WriteStream(best.Data, best.NBits)
 	return Encoded{Data: w.Bytes(), NBits: w.Len()}
 }
 
@@ -85,10 +81,10 @@ func (*Oracle) compressLZ(line []byte, refs [][]byte) Encoded {
 		// Aligned copy: same offset within a reference.
 		alignedLen, alignedRef := 0, 0
 		for r, ref := range refs {
-			l := 0
-			for l < max && p+l < len(ref) && ref[p+l] == line[p+l] {
-				l++
+			if p >= len(ref) {
+				continue
 			}
+			l := matchLen(ref[p:], line[p:], max)
 			if l > alignedLen {
 				alignedLen, alignedRef = l, r
 			}
@@ -139,10 +135,7 @@ func (o *Oracle) Decompress(enc Encoded, refs [][]byte, lineSize int) ([]byte, e
 		return nil, fmt.Errorf("oracle: empty stream: %w", err)
 	}
 	var dw bits.Writer
-	for r0.Remaining() > 0 {
-		b, _ := r0.ReadBit()
-		dw.WriteBit(b)
-	}
+	dw.CopyRemaining(r0)
 	inner := Encoded{Data: dw.Bytes(), NBits: dw.Len()}
 	if sel == 1 {
 		return o.lbe.Decompress(inner, refs, lineSize)

@@ -1,0 +1,79 @@
+package compress
+
+import (
+	"encoding/binary"
+	mathbits "math/bits"
+)
+
+// Word-level first-mismatch / equal-run primitives for the diff-match
+// hot paths. Each compares or scans eight bytes (two 32-bit words) per
+// load and finds the first difference with XOR + TrailingZeros64, so
+// the long matches that make dictionary runs and LZ extensions cheap
+// cost one instruction pair per 8 bytes instead of a branchy per-unit
+// loop. All three are exact drop-ins for the scalar loops they replace
+// (asserted by the property tests).
+
+// matchLen returns the length of the common prefix of a and b in bytes,
+// capped at max. Overlapping source/destination views are fine: each
+// position is compared against the original contents of both slices,
+// exactly like the scalar loop.
+func matchLen(a, b []byte, max int) int {
+	if max > len(a) {
+		max = len(a)
+	}
+	if max > len(b) {
+		max = len(b)
+	}
+	i := 0
+	for ; i+8 <= max; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if x != 0 {
+			return i + mathbits.TrailingZeros64(x)/8
+		}
+	}
+	for ; i < max; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return max
+}
+
+// matchLen32 returns the length of the common prefix of a and b in
+// 32-bit words, capped at max. Two words are packed per comparison.
+func matchLen32(a, b []uint32, max int) int {
+	if max > len(a) {
+		max = len(a)
+	}
+	if max > len(b) {
+		max = len(b)
+	}
+	i := 0
+	for ; i+2 <= max; i += 2 {
+		x := (uint64(a[i]) | uint64(a[i+1])<<32) ^ (uint64(b[i]) | uint64(b[i+1])<<32)
+		if x != 0 {
+			return i + mathbits.TrailingZeros64(x)/32
+		}
+	}
+	if i < max && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// zeroRun32 counts the leading zero words of a, capped at max.
+func zeroRun32(a []uint32, max int) int {
+	if max > len(a) {
+		max = len(a)
+	}
+	i := 0
+	for ; i+2 <= max; i += 2 {
+		if x := uint64(a[i]) | uint64(a[i+1])<<32; x != 0 {
+			return i + mathbits.TrailingZeros64(x)/32
+		}
+	}
+	if i < max && a[i] == 0 {
+		i++
+	}
+	return i
+}

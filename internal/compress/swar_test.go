@@ -1,0 +1,141 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Naive references for the word-level match primitives: the per-element
+// loops the SWAR kernels replaced.
+
+func naiveMatchLen(a, b []byte, max int) int {
+	if len(a) < max {
+		max = len(a)
+	}
+	if len(b) < max {
+		max = len(b)
+	}
+	l := 0
+	for l < max && a[l] == b[l] {
+		l++
+	}
+	return l
+}
+
+func naiveMatchLen32(a, b []uint32, max int) int {
+	if len(a) < max {
+		max = len(a)
+	}
+	if len(b) < max {
+		max = len(b)
+	}
+	l := 0
+	for l < max && a[l] == b[l] {
+		l++
+	}
+	return l
+}
+
+func naiveZeroRun32(a []uint32, max int) int {
+	if len(a) < max {
+		max = len(a)
+	}
+	l := 0
+	for l < max && a[l] == 0 {
+		l++
+	}
+	return l
+}
+
+// bytePairs yields byte-slice pairs covering every alignment, tail
+// length, mismatch position, and the equal/all-zero extremes.
+func bytePairs(rng *rand.Rand) [][2][]byte {
+	var cases [][2][]byte
+	for n := 0; n <= 40; n++ {
+		eq := make([]byte, n)
+		rng.Read(eq)
+		cases = append(cases, [2][]byte{eq, append([]byte(nil), eq...)})
+		for _, mis := range []int{0, 1, 7, 8, 9, 15, 16, n - 1} {
+			if mis < 0 || mis >= n {
+				continue
+			}
+			b := append([]byte(nil), eq...)
+			b[mis] ^= 0x01
+			cases = append(cases, [2][]byte{eq, b})
+		}
+	}
+	for i := 0; i < 200; i++ {
+		a := make([]byte, rng.Intn(300))
+		b := make([]byte, rng.Intn(300))
+		rng.Read(a)
+		// Bias toward long shared prefixes so match extension is hit.
+		copy(b, a)
+		if len(b) > 0 && rng.Intn(2) == 0 {
+			b[rng.Intn(len(b))] ^= byte(1 << uint(rng.Intn(8)))
+		}
+		cases = append(cases, [2][]byte{a, b})
+	}
+	return cases
+}
+
+func TestMatchLenMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for ci, c := range bytePairs(rng) {
+		a, b := c[0], c[1]
+		// Unaligned views of the same pair exercise every load offset.
+		for off := 0; off <= 3 && off <= len(a) && off <= len(b); off++ {
+			for _, max := range []int{0, 1, 2, 7, 8, 9, 63, 258, 1 << 20} {
+				got := matchLen(a[off:], b[off:], max)
+				want := naiveMatchLen(a[off:], b[off:], max)
+				if got != want {
+					t.Fatalf("case %d off %d max %d: matchLen=%d want %d", ci, off, max, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchLen32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 0; n <= 20; n++ {
+		for trial := 0; trial < 50; trial++ {
+			a := make([]uint32, n)
+			b := make([]uint32, rng.Intn(n+4))
+			for i := range a {
+				a[i] = rng.Uint32() >> uint(rng.Intn(32)) // bias toward zeros
+			}
+			copy(b, a)
+			if len(b) > 0 && rng.Intn(2) == 0 {
+				b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(32))
+			}
+			for _, max := range []int{0, 1, 2, 3, 8, 15, 16, 1 << 20} {
+				if got, want := matchLen32(a, b, max), naiveMatchLen32(a, b, max); got != want {
+					t.Fatalf("n=%d max=%d: matchLen32=%d want %d (a=%x b=%x)", n, max, got, want, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroRun32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 20; n++ {
+		for trial := 0; trial < 50; trial++ {
+			a := make([]uint32, n)
+			// Mostly-zero prefix with a random break point.
+			if n > 0 && rng.Intn(4) != 0 {
+				a[rng.Intn(n)] = rng.Uint32() | 1
+			}
+			if rng.Intn(8) == 0 {
+				for i := range a {
+					a[i] = rng.Uint32()
+				}
+			}
+			for _, max := range []int{0, 1, 2, 3, 8, 15, 16, 1 << 20} {
+				if got, want := zeroRun32(a, max), naiveZeroRun32(a, max); got != want {
+					t.Fatalf("n=%d max=%d: zeroRun32=%d want %d (a=%x)", n, max, got, want, a)
+				}
+			}
+		}
+	}
+}

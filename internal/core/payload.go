@@ -85,11 +85,7 @@ func (p Payload) MarshalInto(w *bits.Writer, idxBits, wayBits int) compress.Enco
 	}
 	// The DIFF is the tail; its length is implied by the fixed
 	// decompressed size, so no length field is sent.
-	r := p.Diff.Reader()
-	for r.Remaining() > 0 {
-		b, _ := r.ReadBit()
-		w.WriteBit(b)
-	}
+	w.WriteStream(p.Diff.Data, p.Diff.NBits)
 	return compress.Encoded{Data: w.Bytes(), NBits: w.Len()}
 }
 
@@ -146,10 +142,7 @@ func UnmarshalPayload(enc compress.Encoded, idxBits, wayBits, lineSize int) (Pay
 	}
 	nbits := r.Remaining()
 	var dw bits.Writer
-	for r.Remaining() > 0 {
-		b, _ := r.ReadBit()
-		dw.WriteBit(b)
-	}
+	dw.CopyRemaining(r)
 	p.Diff = compress.Encoded{Data: dw.Bytes(), NBits: nbits}
 	return p, nil
 }

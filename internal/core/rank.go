@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math/bits"
 
 	"cable/internal/cache"
@@ -23,10 +24,22 @@ type candidate struct {
 func CoverageVector(data, ref []byte) uint32 {
 	var cbv uint32
 	n := len(data) / sig.WordSize
-	for i := 0; i < n; i++ {
-		if sig.Word(data, i*sig.WordSize) == sig.Word(ref, i*sig.WordSize) {
+	i := 0
+	// Two words per 64-bit XOR: a zero 32-bit lane is an exact word
+	// match. Lane order matches the scalar form because little-endian
+	// loads place word i in the low half and word i+1 in the high half.
+	for ; i+2 <= n; i += 2 {
+		x := binary.LittleEndian.Uint64(data[i*sig.WordSize:]) ^
+			binary.LittleEndian.Uint64(ref[i*sig.WordSize:])
+		if x&0xFFFFFFFF == 0 {
 			cbv |= 1 << uint(i)
 		}
+		if x>>32 == 0 {
+			cbv |= 1 << uint(i+1)
+		}
+	}
+	if i < n && sig.Word(data, i*sig.WordSize) == sig.Word(ref, i*sig.WordSize) {
+		cbv |= 1 << uint(i)
 	}
 	return cbv
 }

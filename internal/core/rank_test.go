@@ -2,9 +2,11 @@ package core
 
 import (
 	"encoding/binary"
+	"math/rand"
 	"testing"
 
 	"cable/internal/cache"
+	"cable/internal/sig"
 )
 
 func cbvLine(words ...uint32) []byte {
@@ -112,5 +114,37 @@ func TestPreRank(t *testing.T) {
 	// Stability: ties keep first-seen order (homeID index 0 next).
 	if top[2].homeID.Index != 0 {
 		t.Fatalf("pre-rank not stable: %+v", top[2])
+	}
+}
+
+// naiveCoverageVector is the per-word loop the SWAR CoverageVector
+// replaced; the two must agree on every line length and word pattern.
+func naiveCoverageVector(data, ref []byte) uint32 {
+	var cbv uint32
+	n := len(data) / sig.WordSize
+	for i := 0; i < n; i++ {
+		if sig.Word(data, i*sig.WordSize) == sig.Word(ref, i*sig.WordSize) {
+			cbv |= 1 << uint(i)
+		}
+	}
+	return cbv
+}
+
+func TestCoverageVectorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{0, 4, 8, 12, 16, 32, 60, 64, 128} {
+		for trial := 0; trial < 200; trial++ {
+			data := make([]byte, size)
+			ref := make([]byte, size)
+			rng.Read(data)
+			copy(ref, data)
+			// Flip a few words so matches and mismatches interleave.
+			for k := rng.Intn(4); k > 0 && size > 0; k-- {
+				ref[rng.Intn(size)] ^= byte(1 << uint(rng.Intn(8)))
+			}
+			if got, want := CoverageVector(data, ref), naiveCoverageVector(data, ref); got != want {
+				t.Fatalf("size %d: cbv %016b, want %016b", size, got, want)
+			}
+		}
 	}
 }

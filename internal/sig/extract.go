@@ -74,18 +74,6 @@ func NewExtractorN(lineSize int, seed int64, n int) *Extractor {
 // hashWord computes the signature of one non-trivial word.
 func (e *Extractor) hashWord(w uint32) Signature { return Signature(e.h.Hash(w)) }
 
-// advance returns the first offset at or after start holding a
-// non-trivial word, or -1 if none remains. Offsets move forward in
-// 4-byte steps (Fig 6).
-func advance(line []byte, start int) int {
-	for off := start; off+WordSize <= len(line); off += WordSize {
-		if !IsTrivial(Word(line, off)) {
-			return off
-		}
-	}
-	return -1
-}
-
 // InsertSignatures extracts the (at most two) signatures used when a
 // line is inserted into the hash table. Each default offset is moved
 // forward past trivial words; duplicate signatures collapse.
@@ -120,39 +108,40 @@ func (e *Extractor) SearchSignatures(line []byte, max int) []Signature {
 
 // AppendSearchSignatures is the allocation-free form of
 // SearchSignatures: it appends at most max distinct signatures to dst
-// and returns the extended slice. Deduplication is a linear scan over
-// the appended region — max is small (16 in the paper), so this beats
-// a map and allocates nothing.
+// and returns the extended slice. The line is scanned two words per
+// 8-byte load (nonTrivialMask), so all-trivial stretches — the common
+// case on integer-heavy lines — cost one branch per chunk.
+// Deduplication is a linear scan over the appended region — max is
+// small (16 in the paper), so this beats a map and allocates nothing.
 func (e *Extractor) AppendSearchSignatures(dst []Signature, line []byte, max int) []Signature {
 	start := len(dst)
-	for off := 0; off+WordSize <= len(line) && len(dst)-start < max; off += WordSize {
-		w := Word(line, off)
-		if IsTrivial(w) {
+	off := 0
+	for ; off+2*WordSize <= len(line) && len(dst)-start < max; off += 2 * WordSize {
+		m := nonTrivialMask(binary.LittleEndian.Uint64(line[off:]))
+		if m == 0 {
 			continue
 		}
-		s := e.hashWord(w)
-		dup := false
-		for _, prev := range dst[start:] {
-			if prev == s {
-				dup = true
-				break
-			}
+		if m&1 != 0 {
+			dst = appendDistinct(dst, start, e.hashWord(Word(line, off)))
 		}
-		if !dup {
-			dst = append(dst, s)
+		if m&2 != 0 && len(dst)-start < max {
+			dst = appendDistinct(dst, start, e.hashWord(Word(line, off+WordSize)))
+		}
+	}
+	if off+WordSize <= len(line) && len(dst)-start < max {
+		if w := Word(line, off); !IsTrivial(w) {
+			dst = appendDistinct(dst, start, e.hashWord(w))
 		}
 	}
 	return dst
 }
 
-// NonTrivialWords counts non-trivial 32-bit words in the line; the
-// search latency model uses it (fewer signatures → shorter search).
-func NonTrivialWords(line []byte) int {
-	n := 0
-	for off := 0; off+WordSize <= len(line); off += WordSize {
-		if !IsTrivial(Word(line, off)) {
-			n++
+// appendDistinct appends s unless it already occurs in dst[start:].
+func appendDistinct(dst []Signature, start int, s Signature) []Signature {
+	for _, prev := range dst[start:] {
+		if prev == s {
+			return dst
 		}
 	}
-	return n
+	return append(dst, s)
 }

@@ -194,3 +194,23 @@ func BenchmarkSearchSignatures(b *testing.B) {
 		e.SearchSignatures(line, 16)
 	}
 }
+
+// BenchmarkSigScan times the packed-word triviality scan on a line with
+// an interleaved trivial/non-trivial pattern (the advance kernel's
+// worst case: it can't skip a whole 2-word chunk branch-free).
+func BenchmarkSigScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(rng.Intn(256))
+	}
+	for w := 0; w < len(line)/WordSize; w += 2 {
+		binary.LittleEndian.PutUint32(line[w*WordSize:], uint32(rng.Intn(2))) // trivial word
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if NonTrivialWords(line) == 0 {
+			b.Fatal("line unexpectedly all-trivial")
+		}
+	}
+}

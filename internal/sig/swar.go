@@ -1,0 +1,82 @@
+package sig
+
+import (
+	"encoding/binary"
+	mathbits "math/bits"
+)
+
+// SWAR kernels for the signature scans. Lines are walked eight bytes at
+// a time: one little-endian uint64 load covers two 32-bit sampling
+// words (the lane at byte offset off in bits 0..31, the lane at off+4
+// in bits 32..63), and the per-lane triviality test is evaluated
+// branch-free on the packed word. The scalar loops these replace are
+// retained in naive form by the property tests.
+
+// nonTrivialMask reports which 32-bit lanes of an 8-byte chunk are
+// non-trivial: bit 0 for the lane at the lower byte offset, bit 1 for
+// the higher. A lane is trivial when its top 24 bits are all zero or
+// all one (IsTrivial, Fig 6), so the test reduces to comparing the
+// masked lane against 0 and against the mask itself — both evaluated
+// with the branch-free (v|-v)>>63 nonzero reduction.
+func nonTrivialMask(x uint64) uint {
+	const m = uint64(0xFFFFFF00)
+	a := x & m
+	b := (x >> 32) & m
+	af := a ^ m
+	bf := b ^ m
+	// (v|-v)>>63 is 1 iff v != 0; a lane is non-trivial iff it differs
+	// from both all-zero and all-one top bits.
+	na := ((a | -a) >> 63) & ((af | -af) >> 63)
+	nb := ((b | -b) >> 63) & ((bf | -bf) >> 63)
+	return uint(na | nb<<1)
+}
+
+// advance returns the first offset at or after start holding a
+// non-trivial word, or -1 if none remains. Offsets move forward in
+// 4-byte steps (Fig 6); chunks of two words are tested per load.
+func advance(line []byte, start int) int {
+	off := start
+	for ; off+2*WordSize <= len(line); off += 2 * WordSize {
+		if m := nonTrivialMask(binary.LittleEndian.Uint64(line[off:])); m != 0 {
+			if m&1 != 0 {
+				return off
+			}
+			return off + WordSize
+		}
+	}
+	if off+WordSize <= len(line) && !IsTrivial(Word(line, off)) {
+		return off
+	}
+	return -1
+}
+
+// NonTrivialWords counts non-trivial 32-bit words in the line; the
+// search latency model uses it (fewer signatures → shorter search).
+func NonTrivialWords(line []byte) int {
+	n, off := 0, 0
+	for ; off+2*WordSize <= len(line); off += 2 * WordSize {
+		n += mathbits.OnesCount(uint(nonTrivialMask(binary.LittleEndian.Uint64(line[off:]))))
+	}
+	if off+WordSize <= len(line) && !IsTrivial(Word(line, off)) {
+		n++
+	}
+	return n
+}
+
+// ZeroLine reports whether every byte of line is zero, eight bytes at a
+// time. Zero lines yield no signatures and dominate several workloads,
+// so engines short-circuit on them before any per-word work.
+func ZeroLine(line []byte) bool {
+	off := 0
+	for ; off+8 <= len(line); off += 8 {
+		if binary.LittleEndian.Uint64(line[off:]) != 0 {
+			return false
+		}
+	}
+	for ; off < len(line); off++ {
+		if line[off] != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Naive reference loops for the SWAR kernels: the exact scalar
+// implementations the packed-word versions replaced.
+
+func naiveAdvance(line []byte, start int) int {
+	for off := start; off+WordSize <= len(line); off += WordSize {
+		if !IsTrivial(Word(line, off)) {
+			return off
+		}
+	}
+	return -1
+}
+
+func naiveNonTrivialWords(line []byte) int {
+	n := 0
+	for off := 0; off+WordSize <= len(line); off += WordSize {
+		if !IsTrivial(Word(line, off)) {
+			n++
+		}
+	}
+	return n
+}
+
+func naiveZeroLine(line []byte) bool {
+	for _, b := range line {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func naiveSearchSignatures(e *Extractor, line []byte, max int) []Signature {
+	dst := []Signature{}
+	for off := 0; off+WordSize <= len(line) && len(dst) < max; off += WordSize {
+		w := Word(line, off)
+		if IsTrivial(w) {
+			continue
+		}
+		s := e.hashWord(w)
+		dup := false
+		for _, prev := range dst {
+			if prev == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// lineCases generates lines covering the shapes the kernels must get
+// right: all lengths 0..40 (tails not a multiple of 8), all-zero,
+// all-ones, all-trivial small integers, dense random, and sparse lines
+// with a single non-trivial word at every position.
+func lineCases(rng *rand.Rand) [][]byte {
+	var cases [][]byte
+	for n := 0; n <= 40; n++ {
+		zero := make([]byte, n)
+		cases = append(cases, zero)
+		ones := make([]byte, n)
+		trivial := make([]byte, n)
+		dense := make([]byte, n)
+		for i := range ones {
+			ones[i] = 0xFF
+		}
+		for i := 0; i+WordSize <= n; i += WordSize {
+			trivial[i] = byte(rng.Intn(256)) // small LE integer per word
+		}
+		rng.Read(dense)
+		cases = append(cases, ones, trivial, dense)
+		for w := 0; w+WordSize <= n; w += WordSize {
+			sparse := make([]byte, n)
+			sparse[w+1] = 0x12 // non-trivial: top 24 bits neither 0 nor 1
+			sparse[w+3] = 0x34
+			cases = append(cases, sparse)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := make([]byte, rng.Intn(130))
+		rng.Read(p)
+		// Bias toward trivial words so runs of both kinds appear.
+		for off := 0; off+WordSize <= len(p); off += WordSize {
+			switch rng.Intn(3) {
+			case 0:
+				p[off+1], p[off+2], p[off+3] = 0, 0, 0
+			case 1:
+				p[off+1], p[off+2], p[off+3] = 0xFF, 0xFF, 0xFF
+			}
+		}
+		cases = append(cases, p)
+	}
+	return cases
+}
+
+func TestAdvanceMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, line := range lineCases(rng) {
+		for start := 0; start <= len(line)+4; start += WordSize {
+			got := advance(line, start)
+			want := naiveAdvance(line, start)
+			if got != want {
+				t.Fatalf("advance(%x, %d) = %d, want %d", line, start, got, want)
+			}
+		}
+	}
+}
+
+func TestNonTrivialWordsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, line := range lineCases(rng) {
+		if got, want := NonTrivialWords(line), naiveNonTrivialWords(line); got != want {
+			t.Fatalf("NonTrivialWords(%x) = %d, want %d", line, got, want)
+		}
+	}
+}
+
+func TestZeroLineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, line := range lineCases(rng) {
+		if got, want := ZeroLine(line), naiveZeroLine(line); got != want {
+			t.Fatalf("ZeroLine(%x) = %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestSearchSignaturesMatchSWAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := NewExtractor(64, 42)
+	for _, line := range lineCases(rng) {
+		for _, max := range []int{0, 1, 2, 3, 16, 64} {
+			got := e.AppendSearchSignatures(nil, line, max)
+			want := naiveSearchSignatures(e, line, max)
+			if len(got) != len(want) {
+				t.Fatalf("search(%x, max=%d): %v vs naive %v", line, max, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("search(%x, max=%d): %v vs naive %v", line, max, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNonTrivialMaskExhaustiveLanes sweeps the triviality boundary
+// values through both lanes of the packed test.
+func TestNonTrivialMaskExhaustiveLanes(t *testing.T) {
+	boundary := []uint32{
+		0, 1, 0xFF, 0x100, 0x1FF, 0xFFFFFF00 - 1, 0xFFFFFF00,
+		0xFFFFFFFF, 0xFFFFFEFF, 0x80000000, 0x00FFFFFF, 0xFF000000,
+	}
+	for _, lo := range boundary {
+		for _, hi := range boundary {
+			x := uint64(lo) | uint64(hi)<<32
+			m := nonTrivialMask(x)
+			want := uint(0)
+			if !IsTrivial(lo) {
+				want |= 1
+			}
+			if !IsTrivial(hi) {
+				want |= 2
+			}
+			if m != want {
+				t.Fatalf("nonTrivialMask(%#x) = %b, want %b (lo=%#x hi=%#x)", x, m, want, lo, hi)
+			}
+		}
+	}
+}
