@@ -1,5 +1,5 @@
 # Tier-1 verification (ROADMAP.md): build + tests.
-.PHONY: all build test check bench bench-json report
+.PHONY: all build test check bench bench-json bench-scaling report
 
 all: build test
 
@@ -25,7 +25,9 @@ check:
 	go test -race -count=1 -run 'FaultSoak|FaultDeterminism|ZeroRateInert' ./internal/sim
 	go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
 	go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
+	GOMAXPROCS=2 go test -race -run TestParallelDeterminism -count=1 ./internal/experiments
 	go test -run=NOTHING -bench=. -benchtime=1x .
+	go test -run=NOTHING -bench 'BenchmarkRunAllScaling$$|BenchmarkMemLinkProtocolScaling$$' -benchtime=1x -benchmem -cpu 1,2 . | go run ./tools/benchjson >/dev/null
 	go test -race -timeout 45m ./...
 
 # bench runs the hot-path microbenchmarks in benchstat-friendly form
@@ -42,6 +44,19 @@ bench-json:
 	  go test -run xxx -bench 'BenchmarkWriteBits$$|BenchmarkReadBits$$' -benchmem -count 1 ./internal/bits ; \
 	  go test -run xxx -bench 'BenchmarkSigScan$$' -benchmem -count 1 ./internal/sig ; } \
 		| go run ./tools/benchjson > BENCH_pr5.json
+
+# bench-scaling snapshots the multi-core story as BENCH_pr6.json: the
+# experiment-runner and protocol scaling curves at GOMAXPROCS 1/2/4/8/16
+# (one binary, go test -cpu, so every point shares code and workload)
+# plus the batched-encode headline. tools/benchjson derives speedup and
+# per-core efficiency from the -N name suffixes. On a 1-vCPU container
+# the >1-cpu points measure oversubscription, not speedup — DESIGN.md's
+# "Multi-core scaling" section carries the mutex/block-profile evidence
+# instead.
+bench-scaling:
+	{ go test -run xxx -bench 'BenchmarkRunAllScaling$$|BenchmarkMemLinkProtocolScaling$$' -benchmem -cpu 1,2,4,8,16 -count 1 . ; \
+	  go test -run xxx -bench 'BenchmarkEncodeFill$$|BenchmarkEncodeBatch$$' -benchmem -count 1 . ; } \
+		| go run ./tools/benchjson > BENCH_pr6.json
 
 report:
 	go run ./cmd/cablereport -quick

@@ -176,6 +176,48 @@ func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
 
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkRunAllScaling is the experiment-runner scaling probe: the
+// worker pool tracks GOMAXPROCS, so driving one binary with the -cpu
+// list (`make bench-scaling`, i.e. go test -cpu 1,2,4,8,16) yields one
+// wall-clock point per core count, and tools/benchjson turns the -N
+// name suffixes into the speedup/efficiency columns BENCH_pr6.json and
+// the README's scaling table quote. The cell memo is disabled: all -cpu
+// points share one process, so later points would otherwise be served
+// from the first point's cache and measure nothing.
+func BenchmarkRunAllScaling(b *testing.B) {
+	ids := []string{"fig21", "tab3"}
+	opt := cable.ExperimentOptions{Quick: true, Parallelism: runtime.GOMAXPROCS(0), DisableCellMemo: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cable.RunExperiments(ids, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemLinkProtocolScaling measures aggregate protocol
+// throughput over GOMAXPROCS concurrent chips (each op is one full
+// memory-link run on a private chip). The workload is embarrassingly
+// parallel by construction, so efficiency lost under -cpu scaling is
+// runtime, allocator, or metrics-registry contention — the serial
+// bottlenecks this PR removes — not algorithm.
+func BenchmarkMemLinkProtocolScaling(b *testing.B) {
+	cfg := cable.DefaultMemoryLinkConfig("dealII")
+	cfg.AccessesPerProgram = 2000
+	cfg.WithMeters = false
+	cfg.Chip.LLCBytes = 256 << 10
+	cfg.Chip.L4Bytes = 1 << 20
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cable.RunMemoryLink(cfg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // --- micro-benchmarks of the hot paths ---
 
 // warmChip builds a memory-link chip and drives it to steady state, so
@@ -207,21 +249,57 @@ func warmChip(tb testing.TB) (*sim.Chip, []uint64) {
 	return chip, addrs
 }
 
+// benchFillStream precomputes the fill request stream both encode
+// benchmarks consume, so they measure API cost over the same work: a
+// power-of-two-length cycle of resident addresses with rotating
+// replacement ways. The per-line caller pulls one request at a time;
+// the batch caller hands over 32-request windows — exactly the call
+// shapes the two APIs impose on a runner draining a fill queue.
+func benchFillStream(addrs []uint64, ways int) []cable.BatchFill {
+	const n = 4096 // power of two: the cycle index reduces to a mask
+	reqs := make([]cable.BatchFill, n)
+	for i := range reqs {
+		reqs[i] = cable.BatchFill{LineAddr: addrs[i%len(addrs)], State: cable.Shared, ReplWay: i % ways}
+	}
+	return reqs
+}
+
 // BenchmarkEncodeFill measures the per-line encode hot path on a warm
 // home end: standalone compression, signature search, candidate
 // ranking, DIFF compression and hash-table/WMT synchronization. The
 // encode path is allocation-free in steady state (0 allocs/op).
 func BenchmarkEncodeFill(b *testing.B) {
 	chip, addrs := warmChip(b)
-	ways := chip.LLC.Config().Ways
+	reqs := benchFillStream(addrs, chip.LLC.Config().Ways)
 	b.SetBytes(64)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		addr := addrs[i%len(addrs)]
-		if _, _, err := chip.Home.EncodeFill(addr, cable.Shared, i%ways); err != nil {
+		rq := &reqs[i&(len(reqs)-1)]
+		if _, _, err := chip.Home.EncodeFill(rq.LineAddr, rq.State, rq.ReplWay); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEncodeBatch measures the batched encode API at batch size
+// 32 on the same warm chip and request stream as BenchmarkEncodeFill;
+// divide ns/op by 32 for the per-line figure the README's efficiency
+// table quotes. The batch path amortizes metric publication, probing
+// and capability checks across the batch and must stay at 0 allocs/op.
+func BenchmarkEncodeBatch(b *testing.B) {
+	chip, addrs := warmChip(b)
+	reqs := benchFillStream(addrs, chip.LLC.Config().Ways)
+	const batch = 32
+	b.SetBytes(batch * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	off := 0
+	for i := 0; i < b.N; i++ {
+		if err := chip.Home.EncodeFills(reqs[off:off+batch], nil); err != nil {
+			b.Fatal(err)
+		}
+		off = (off + batch) & (len(reqs) - 1)
 	}
 }
 

@@ -80,6 +80,12 @@ type HomeEnd = core.HomeEnd
 // RemoteEnd is the decompressing side of a link (the smaller cache).
 type RemoteEnd = core.RemoteEnd
 
+// BatchFill is one request of a batched HomeEnd.EncodeFills call.
+type BatchFill = core.BatchFill
+
+// FillLatency is the cycle cost of one encoded fill (§IV-D pipeline).
+type FillLatency = core.FillLatency
+
 // Engine is a pluggable per-line compression algorithm; CABLE is a
 // framework and delegates the actual DIFF coding to one of these.
 type Engine = compress.Engine
@@ -294,6 +300,13 @@ func WriteMetricsFile(path string, includeVolatile bool) error {
 // ResetMetrics zeroes every metric in the global registry (metric
 // identities survive, so held counter handles keep working).
 func ResetMetrics() { obs.Default().Reset() }
+
+// MetricValue reads one counter's current total from the global
+// registry (0 when the counter does not exist yet). The CLIs use the
+// delta of "core.source_bits" across a run for their GB/s summary line.
+func MetricValue(name string) uint64 {
+	return obs.Default().Snapshot(false).Counters[name]
+}
 
 // MetricsHandler serves the live registry over HTTP: /metrics (JSON),
 // /metrics.txt, and the standard /debug/pprof endpoints. Backs the

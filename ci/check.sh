@@ -57,8 +57,20 @@ go run ./cmd/cablesim -exp fig12 -quick -parallel 1 -fault-rate 1e-3 -fault-seed
 go run ./cmd/cablesim -exp fig12 -quick -parallel 8 -fault-rate 1e-3 -fault-seed 7 >"$tmpdir/p8.txt"
 cmp "$tmpdir/p1.txt" "$tmpdir/p8.txt"
 
+echo "== parallel determinism under 2 workers (-race)"
+# The in-tree gate for the runner's bit-identity contract, clean and
+# fault-injected, under a deliberately tiny GOMAXPROCS so the pool is
+# oversubscribed and interleavings are forced.
+GOMAXPROCS=2 go test -race -run TestParallelDeterminism -count=1 ./internal/experiments
+
 echo "== bench smoke (1 iteration)"
 go test -run=NOTHING -bench=. -benchtime=1x .
+
+echo "== bench-scaling smoke (1 iteration, 2 cpu points)"
+# Compiles and runs the scaling family at two -cpu points and pushes the
+# output through tools/benchjson, so neither the benchmarks nor the
+# converter's cpu-suffix/efficiency path can rot.
+go test -run=NOTHING -bench 'BenchmarkRunAllScaling$|BenchmarkMemLinkProtocolScaling$' -benchtime=1x -benchmem -cpu 1,2 . | go run ./tools/benchjson >/dev/null
 
 echo "== go test -race"
 # The race detector is ~5x CPU; the experiment drivers need more than

@@ -77,19 +77,25 @@ func (w *Writer) flush() {
 	w.acc, w.accn = 0, 0
 }
 
+// writeBitsWidth exists only for its bounds check: indexing it with the
+// width rejects n outside [0, 64] with a panic, at the cost of one
+// compare instead of an un-inlinable formatted panic.
+var writeBitsWidth [65]struct{}
+
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 64].
+//
+// This is the hottest call in the compression engines (a few dozen
+// calls per encoded line), so the body is kept within the inlining
+// budget: the width check is an array bounds check, the unseal test is
+// open-coded, and the once-per-64-bits accumulator spill is outlined.
 func (w *Writer) WriteBits(v uint64, n int) {
-	if n < 0 || n > 64 {
-		panic(fmt.Sprintf("bits: WriteBits width %d out of range", n))
+	_ = writeBitsWidth[n]
+	if w.tail > 0 {
+		w.buf = w.buf[:len(w.buf)-w.tail]
+		w.tail = 0
 	}
-	if n == 0 {
-		return
-	}
-	w.unseal()
-	if n < 64 {
-		v &= (1 << uint(n)) - 1
-	}
+	v &= 1<<uint(n) - 1 // all-ones when n == 64: 1<<64 wraps to 0
 	w.nbits += n
 	free := 64 - w.accn
 	if n < free {
@@ -97,7 +103,16 @@ func (w *Writer) WriteBits(v uint64, n int) {
 		w.accn += n
 		return
 	}
-	// Fill the accumulator to exactly 64 bits and flush it.
+	w.spillBits(v, n, free)
+}
+
+// spillBits completes a WriteBits that fills the accumulator: flush the
+// full 64 bits and restage the remainder. Kept out of line so WriteBits
+// itself stays within the inlining budget — the spill runs once per 64
+// bits written, the fast path on every call.
+//
+//go:noinline
+func (w *Writer) spillBits(v uint64, n, free int) {
 	w.acc |= v >> uint(n-free)
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], w.acc)

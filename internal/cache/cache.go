@@ -114,10 +114,11 @@ type Stats struct {
 
 // Cache is a set-associative cache with LRU replacement.
 type Cache struct {
-	cfg  Config
-	sets [][]Line
-	tick uint64
-	rng  uint64 // xorshift state for PolicyRandom
+	cfg     Config
+	sets    [][]Line
+	backing *backing
+	tick    uint64
+	rng     uint64 // xorshift state for PolicyRandom
 
 	// Stats accumulates event counts; callers may reset it.
 	Stats Stats
@@ -130,15 +131,12 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	n := cfg.SizeBytes / (cfg.Ways * cfg.LineSize)
-	// One contiguous backing array for all lines; sets are views into
-	// it. This collapses the per-set allocations of large caches into
-	// a single one.
-	backing := make([]Line, n*cfg.Ways)
-	sets := make([][]Line, n)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return &Cache{cfg: cfg, sets: sets, rng: 0x9E3779B97F4A7C15}
+	// One contiguous backing array for all lines (sets are views into
+	// it) plus one contiguous data arena, both drawn from the geometry
+	// pool — see pool.go. This collapses the per-set and per-line
+	// allocations of large caches into recycled slabs.
+	b := getBacking(n, cfg.Ways, cfg.LineSize)
+	return &Cache{cfg: cfg, sets: b.sets, backing: b, rng: 0x9E3779B97F4A7C15}
 }
 
 // Config returns the cache geometry.

@@ -66,7 +66,15 @@ func (d *lbeDict) push(w uint32) {
 // (matchLen32), two dictionary words per comparison.
 func (d *lbeDict) longestRun(src []uint32, p int) (idx, length int) {
 	best, bestIdx := 0, -1
-	for i := range d.words {
+	w0 := src[p]
+	for i, e := range d.words {
+		// A candidate whose first word differs has run length 0 and can
+		// never beat best (≥ 0): skip it with one compare instead of a
+		// matchLen32 call. The surviving selection — first index with
+		// the strictly longest run — is unchanged.
+		if e != w0 {
+			continue
+		}
 		l := matchLen32(d.words[i:], src[p:], lbeMaxRun)
 		if l > best {
 			best, bestIdx = l, i
@@ -80,20 +88,19 @@ func (d *lbeDict) longestRun(src []uint32, p int) (idx, length int) {
 func (d *lbeDict) partialMatch(w uint32) (idx, matchBytes int) {
 	best, bestIdx := 0, -1
 	for i, e := range d.words {
-		var m int
-		switch {
-		case e>>8 == w>>8:
-			m = 3
-		case e>>16 == w>>16:
-			m = 2
-		default:
+		// One shift of the XOR rejects non-candidates with a single
+		// branch; survivors share at least the upper half.
+		x := e ^ w
+		if x>>16 != 0 {
 			continue
 		}
-		if m > best {
-			best, bestIdx = m, i
-			if m == 3 {
-				break
-			}
+		if x>>8 == 0 {
+			// First index reaching m=3 always wins in the original
+			// best-tracking loop, whether or not an m=2 preceded it.
+			return i, 3
+		}
+		if best < 2 {
+			best, bestIdx = 2, i
 		}
 	}
 	return bestIdx, best
@@ -126,34 +133,38 @@ func (l *LBE) CompressScratch(s *Scratch, line []byte, refs [][]byte) Encoded {
 	for p := 0; p < len(src); {
 		// Zero run.
 		zl := zeroRun32(src[p:], lbeMaxRun)
-		idx, rl := d.longestRun(src, p)
+		var idx, rl int
+		if zl < lbeMaxRun {
+			idx, rl = d.longestRun(src, p)
+		}
+		// A full-length zero run wins unconditionally (rl is capped at
+		// the same lbeMaxRun, so zl >= rl holds), hence the dictionary
+		// search above is skipped for it.
 		// Cost per option, in saved bits vs. literals (32+2 each).
 		// Prefer the option covering the most words; ties favor the
 		// cheaper zero code.
+		// Each code is emitted as a single WriteBits call: writing
+		// a<<m|b in one call of n+m bits is, by the MSB-first
+		// accumulator semantics, the same stream as writing a (n bits)
+		// then b (m bits). Fusing fields saves the dominant per-call
+		// overhead of the bit writer. All fused widths stay <= 64
+		// (ib is at most ~10 for any sane dictionary).
 		switch {
 		case zl > 0 && zl >= rl:
-			w.WriteBits(0b00, 2)
-			w.WriteBits(uint64(zl-1), 4)
+			w.WriteBits(0b00<<4|uint64(zl-1), 6)
 			p += zl
 		case rl >= 2 || (rl == 1 && zl == 0):
-			w.WriteBits(0b01, 2)
-			w.WriteBits(uint64(idx), ib)
-			w.WriteBits(uint64(rl-1), 4)
+			w.WriteBits(0b01<<uint(ib+4)|uint64(idx)<<4|uint64(rl-1), 6+ib)
 			p += rl
 		default:
 			if mi, m := d.partialMatch(src[p]); m == 3 {
-				w.WriteBits(0b110, 3)
-				w.WriteBits(uint64(mi), ib)
-				w.WriteBits(uint64(src[p]&0xFF), 8)
+				w.WriteBits(0b110<<uint(ib+8)|uint64(mi)<<8|uint64(src[p]&0xFF), 11+ib)
 				d.push(src[p])
 			} else if m == 2 {
-				w.WriteBits(0b111, 3)
-				w.WriteBits(uint64(mi), ib)
-				w.WriteBits(uint64(src[p]&0xFFFF), 16)
+				w.WriteBits(0b111<<uint(ib+16)|uint64(mi)<<16|uint64(src[p]&0xFFFF), 19+ib)
 				d.push(src[p])
 			} else {
-				w.WriteBits(0b10, 2)
-				w.WriteBits(uint64(src[p]), 32)
+				w.WriteBits(0b10<<32|uint64(src[p]), 34)
 				d.push(src[p])
 			}
 			p++

@@ -1,0 +1,81 @@
+package compress
+
+import "sync"
+
+// The scratch compressors' word buffers (dictionary and source views)
+// are small but built once per link end, and parallel simulation cells
+// build many short-lived ends. Prime/Release cycle those buffers
+// through shared pools so cell startup reuses grown capacity instead of
+// re-allocating it. Both are optional: a zero-valued Scratch still
+// works, growing its buffers on first use.
+
+var (
+	wordBufPool sync.Pool // []uint32, any capacity
+	byteBufPool sync.Pool // []byte, any capacity
+)
+
+func getWordBuf() []uint32 {
+	if v := wordBufPool.Get(); v != nil {
+		return v.([]uint32)[:0]
+	}
+	return nil
+}
+
+func putWordBuf(s []uint32) {
+	if cap(s) > 0 {
+		wordBufPool.Put(s[:0])
+	}
+}
+
+func getByteBuf() []byte {
+	if v := byteBufPool.Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return nil
+}
+
+func putByteBuf(s []byte) {
+	if cap(s) > 0 {
+		byteBufPool.Put(s[:0])
+	}
+}
+
+// Prime seeds the scratch with recycled buffer capacity.
+func (s *Scratch) Prime() {
+	if s.dict == nil {
+		s.dict = getWordBuf()
+	}
+	if s.src == nil {
+		s.src = getWordBuf()
+	}
+}
+
+// Release returns the scratch's buffers to the pool. The scratch stays
+// usable but starts from empty capacity again.
+func (s *Scratch) Release() {
+	putWordBuf(s.dict)
+	putWordBuf(s.src)
+	s.dict, s.src = nil, nil
+}
+
+// Prime seeds the decode scratch with recycled buffer capacity.
+func (s *DecScratch) Prime() {
+	if s.dict == nil {
+		s.dict = getWordBuf()
+	}
+	if s.out == nil {
+		s.out = getWordBuf()
+	}
+	if s.res == nil {
+		s.res = getByteBuf()
+	}
+}
+
+// Release returns the decode scratch's buffers to the pool. The scratch
+// stays usable but starts from empty capacity again.
+func (s *DecScratch) Release() {
+	putWordBuf(s.dict)
+	putWordBuf(s.out)
+	putByteBuf(s.res)
+	s.dict, s.out, s.res = nil, nil, nil
+}

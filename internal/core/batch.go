@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+
+	"cable/internal/cache"
+	"cable/internal/compress"
+	"cable/internal/obs"
+	"cable/internal/sig"
+)
+
+// This file is the batched encode/decode API. EncodeFill's per-line cost
+// is dominated not by compression but by bookkeeping: ~30 atomic metric
+// increments (htHits per signature, per-candidate WMT/read counters, the
+// payload histogram's three atomics, CompressWith's two per engine
+// call), a duplicate home-cache Probe in the Shared branch, per-call
+// interface dispatch for the engine and way-map, and the RemoteLIDBits
+// override check per Bits() evaluation. EncodeFills runs the exact same
+// pipeline over K lines but accumulates every counter and Stats field in
+// plain locals flushed once per batch, probes once per line, hoists the
+// pointer width, devirtualizes the way-map and engine, and fuses the
+// hash-table probe with candidate deduplication.
+//
+// Bit-identity with the sequential path is a hard contract: line i+1 may
+// reference line i (the Shared branch inserts the filled line into the
+// HT/WMT before the next encode), so lines are processed strictly in
+// order and every structural mutation happens at the same point as in
+// EncodeFill. TestEncodeFillsMatchesSequential pins payload bytes,
+// Stats, and metric totals against the one-line path.
+
+// BatchFill is one fill request of a batch: the same triple EncodeFill
+// takes.
+type BatchFill struct {
+	LineAddr uint64
+	State    cache.State
+	ReplWay  int
+}
+
+// batchAcc accumulates one batch's worth of counter and HomeStats
+// updates in plain fields. flush publishes them with one atomic add per
+// touched counter instead of one per event.
+type batchAcc struct {
+	fills          uint64
+	sourceBits     uint64
+	thresholdSkips uint64
+	sigsSearched   uint64
+	htHits         uint64
+	htInserts      uint64
+	htRemoves      uint64
+	htCollisions   uint64
+	candidatesRead uint64
+	wmtHits        uint64
+	wmtMisses      uint64
+	outcomeRaw     uint64
+	outcomeStand   uint64
+	outcomeDiff    uint64
+	refsUsed       [MaxRefsLimit + 1]uint64
+	payloadBits    uint64
+	payloadDist    obs.HistAcc
+}
+
+// batchState is the per-EncodeFills context: the accumulator plus
+// everything hoisted out of the per-line loop.
+type batchState struct {
+	acc     batchAcc
+	wmt     *WMT // non-nil when the way-map is a private WMT (devirtualized)
+	lidBits int
+}
+
+// flush publishes the accumulated events to the metrics registry and the
+// exported Stats block. Stats and counters therefore advance when the
+// batch completes (or fails), not per line — totals are identical to the
+// sequential path's.
+func (h *HomeEnd) flushBatch(a *batchAcc) {
+	s := &h.Stats
+	s.Fills += a.fills
+	s.SourceBits += a.sourceBits
+	s.ThresholdSkips += a.thresholdSkips
+	s.SigsSearched += a.sigsSearched
+	s.CandidatesRead += a.candidatesRead
+	s.RawWins += a.outcomeRaw
+	s.StandaloneWins += a.outcomeStand
+	s.DiffWins += a.outcomeDiff
+	s.PayloadBits += a.payloadBits
+	for i, v := range a.refsUsed {
+		s.RefsUsed[i] += v
+	}
+
+	mx, shard := h.mx, h.shard
+	if a.fills != 0 {
+		mx.fills.Add(shard, a.fills)
+		mx.sourceBits.Add(shard, a.sourceBits)
+		mx.payloadBits.Add(shard, a.payloadBits)
+	}
+	if a.thresholdSkips != 0 {
+		mx.thresholdSkips.Add(shard, a.thresholdSkips)
+	}
+	if a.sigsSearched != 0 {
+		mx.sigsSearched.Add(shard, a.sigsSearched)
+		mx.htProbes.Add(shard, a.sigsSearched)
+	}
+	if a.htHits != 0 {
+		mx.htHits.Add(shard, a.htHits)
+	}
+	if a.htInserts != 0 {
+		mx.htInserts.Add(shard, a.htInserts)
+	}
+	if a.htRemoves != 0 {
+		mx.htRemoves.Add(shard, a.htRemoves)
+	}
+	if a.htCollisions != 0 {
+		mx.htCollisions.Add(shard, a.htCollisions)
+	}
+	if a.candidatesRead != 0 {
+		mx.candidatesRead.Add(shard, a.candidatesRead)
+	}
+	if a.wmtHits != 0 {
+		mx.wmtHits.Add(shard, a.wmtHits)
+	}
+	if a.wmtMisses != 0 {
+		mx.wmtMisses.Add(shard, a.wmtMisses)
+	}
+	if a.outcomeRaw != 0 {
+		mx.outcomeRaw.Add(shard, a.outcomeRaw)
+	}
+	if a.outcomeStand != 0 {
+		mx.outcomeStand.Add(shard, a.outcomeStand)
+	}
+	if a.outcomeDiff != 0 {
+		mx.outcomeDiff.Add(shard, a.outcomeDiff)
+	}
+	for i, v := range a.refsUsed {
+		if v != 0 {
+			mx.refsUsed[i].Add(shard, v)
+		}
+	}
+	a.payloadDist.FlushTo(mx.payloadDist)
+	*a = batchAcc{}
+}
+
+// EncodeFills encodes a batch of fills in request order, invoking emit
+// for each with the payload and latency EncodeFill would have produced.
+// Like EncodeFill's result, the payload aliases the end's scratch and is
+// valid only for the duration of the callback; retainers must Clone.
+//
+// Every observable effect — payload bits, HT/WMT state, trace records,
+// and (once the call returns) HomeStats and metric totals — is identical
+// to calling EncodeFill once per request; Stats and counters are
+// published at batch completion rather than per line. On an error (line
+// absent from the home cache) the effects of the already-emitted prefix
+// stand, matching a sequential caller that stopped at the failing line.
+func (h *HomeEnd) EncodeFills(reqs []BatchFill, emit func(i int, p Payload, lat FillLatency)) error {
+	standalone := compress.NewBatchCompressor(h.engine, &h.scr.standalone)
+	diff := compress.NewBatchCompressor(h.engine, &h.scr.diff)
+	bs := batchState{lidBits: h.RemoteLIDBits()}
+	bs.wmt, _ = h.wmt.(*WMT)
+	acc := &bs.acc
+	var payload Payload
+	for i := range reqs {
+		req := &reqs[i]
+		line, homeID, ok := h.home.Probe(req.LineAddr)
+		if !ok {
+			h.flushBatch(acc)
+			standalone.Flush()
+			diff.Flush()
+			return fmt.Errorf("core: EncodeFill %#x: line not present in home cache %q", req.LineAddr, h.home.Config().Name)
+		}
+		data := line.Data
+		acc.fills++
+		acc.sourceBits += uint64(len(data) * 8)
+
+		bestBits, lat := h.encodeBatch(data, &bs, &standalone, &diff, &payload)
+
+		rSlot := cache.LineID{Index: int(req.LineAddr & uint64(h.remoteSets-1)), Way: req.ReplWay}
+		h.noteDisplacementBatch(rSlot, &bs)
+		if req.State == cache.Shared {
+			// The sequential path re-probes here; nothing between the
+			// probe above and this point mutates the home cache, so the
+			// first probe's result is still exact.
+			if bs.wmt != nil {
+				bs.wmt.Set(rSlot, homeID)
+			} else {
+				h.wmt.Set(rSlot, homeID)
+			}
+			h.insertLineBatch(data, homeID, acc)
+		}
+		payload.AckSeq = h.AckSeq
+		// bestBits is Payload.Bits(lidBits) by construction (AckSeq is
+		// not transmitted in the sized header), so skip the recompute.
+		acc.payloadBits += uint64(bestBits)
+		acc.payloadDist.Observe(uint64(bestBits))
+		h.recordOutcomeBatch(&payload, acc)
+		if h.tr != nil {
+			h.tr.Record(obs.EncodeRecord{
+				LineAddr:      req.LineAddr,
+				Class:         payloadClass(payload),
+				Refs:          uint8(len(payload.Refs)),
+				SigsSearched:  uint8(h.lastSigs),
+				Candidates:    uint8(h.lastCands),
+				ThresholdSkip: h.lastSkip,
+				PayloadBits:   uint32(bestBits),
+			})
+		}
+		if emit != nil {
+			emit(i, payload, lat)
+		}
+	}
+	h.flushBatch(acc)
+	standalone.Flush()
+	diff.Flush()
+	return nil
+}
+
+// encodeBatch is encode with deferred counters: identical decisions,
+// identical scratch usage, and the winning payload's exact bit size
+// returned so the caller need not re-derive it. The winner is written
+// through out, sparing the per-line copy of a returned Payload.
+func (h *HomeEnd) encodeBatch(data []byte, bs *batchState, standalone, diff *compress.BatchCompressor, out *Payload) (int, FillLatency) {
+	h.lastSigs, h.lastCands, h.lastSkip = 0, 0, false
+	scr := &h.scr
+	acc := &bs.acc
+	stand := standalone.Compress(data, nil)
+	rawBits := flagBits + len(data)*8
+
+	*out = Payload{Compressed: true, Diff: stand}
+	bestBits := out.Bits(bs.lidBits)
+	if rawBits < bestBits {
+		scr.raw = append(scr.raw[:0], data...)
+		*out = Payload{Raw: scr.raw}
+		bestBits = rawBits
+	}
+	lat := FillLatency{CompressCycles: CompressLatency, DecompressCycles: DecompressLatency}
+
+	if h.standaloneSkips(stand.NBits) {
+		acc.thresholdSkips++
+		h.lastSkip = true
+		return bestBits, lat
+	}
+
+	scr.searchSigs = h.ex.AppendSearchSignatures(scr.searchSigs[:0], data, h.cfg.MaxSearchSigs)
+	sigs := scr.searchSigs
+	h.lastSigs = len(sigs)
+	acc.sigsSearched += uint64(len(sigs))
+	lat.SearchCycles = searchLatency(len(sigs))
+	cands := h.gatherCandidatesBatch(data, sigs, bs)
+	h.lastCands = len(cands)
+	scr.refs = scr.pick.pick(cands, h.cfg.MaxRefs, scr.refs[:0])
+	if refs := scr.refs; len(refs) > 0 {
+		scr.refData = scr.refData[:0]
+		scr.refIDs = scr.refIDs[:0]
+		for _, c := range refs {
+			scr.refData = append(scr.refData, c.data)
+			scr.refIDs = append(scr.refIDs, c.remoteID)
+		}
+		d := diff.Compress(data, scr.refData)
+		p := Payload{Compressed: true, Refs: scr.refIDs, Diff: d}
+		if b := p.Bits(bs.lidBits); b < bestBits {
+			*out, bestBits = p, b
+		}
+	}
+	return bestBits, lat
+}
+
+// standaloneSkips reports whether a standalone encode of nbits clears
+// the threshold, via the memoized table (built on first use). Out-of-
+// range sizes — possible only for an engine that expands beyond LBE's
+// worst case — fall back to the float comparison.
+func (h *HomeEnd) standaloneSkips(nbits int) bool {
+	if h.thrSkip == nil {
+		// LBE's worst case is a 34-bit literal code per 32-bit source
+		// word; size the table past that so real encodes always hit it.
+		n := (h.lineSize/4)*34 + 2
+		h.thrSkip = make([]bool, n)
+		for nb := range h.thrSkip {
+			h.thrSkip[nb] = compress.Ratio(h.lineSize, nb) >= h.cfg.StandaloneThreshold
+		}
+	}
+	if nbits >= 0 && nbits < len(h.thrSkip) {
+		return h.thrSkip[nbits]
+	}
+	return compress.Ratio(h.lineSize, nbits) >= h.cfg.StandaloneThreshold
+}
+
+// gatherCandidatesBatch is gatherCandidates with deferred counters, the
+// hash-table probe fused with deduplication (no intermediate LineID
+// buffer), and the way-map devirtualized.
+func (h *HomeEnd) gatherCandidatesBatch(data []byte, sigs []sig.Signature, bs *batchState) []candidate {
+	scr := &h.scr
+	acc := &bs.acc
+	ht := h.ht
+	cands := scr.cands[:0]
+	scr.dedup.begin(len(sigs) * h.cfg.BucketDepth)
+	for _, s := range sigs {
+		ht.Lookups++
+		for _, e := range ht.bucket(s) {
+			if !e.valid {
+				continue
+			}
+			acc.htHits++
+			if pos, dup := scr.dedup.insert(e.id, int32(len(cands))); dup {
+				cands[pos].dups++
+			} else {
+				cands = append(cands, candidate{homeID: e.id, dups: 1})
+			}
+		}
+	}
+	scr.cands = cands
+	cands = preRank(cands, h.cfg.AccessCount)
+
+	out := cands[:0]
+	for _, c := range cands {
+		var remoteID cache.LineID
+		var resident bool
+		if bs.wmt != nil {
+			remoteID, resident = bs.wmt.Lookup(c.homeID)
+		} else {
+			remoteID, resident = h.wmt.Lookup(c.homeID)
+		}
+		if !resident {
+			acc.wmtMisses++
+			continue
+		}
+		acc.wmtHits++
+		ref := h.home.ReadByID(c.homeID)
+		acc.candidatesRead++
+		if ref == nil {
+			continue
+		}
+		c.remoteID = remoteID
+		c.data = ref.Data
+		c.cbv = CoverageVector(data, ref.Data)
+		if c.cbv == 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func (h *HomeEnd) insertLineBatch(data []byte, id cache.LineID, acc *batchAcc) {
+	h.scr.insertSigs = h.ex.AppendInsertSignatures(h.scr.insertSigs[:0], data)
+	collisionsBefore := h.ht.Collisions
+	for _, s := range h.scr.insertSigs {
+		h.ht.Insert(s, id)
+	}
+	acc.htInserts += uint64(len(h.scr.insertSigs))
+	acc.htCollisions += h.ht.Collisions - collisionsBefore
+}
+
+func (h *HomeEnd) removeLineBatch(data []byte, id cache.LineID, acc *batchAcc) {
+	h.scr.insertSigs = h.ex.AppendInsertSignatures(h.scr.insertSigs[:0], data)
+	for _, s := range h.scr.insertSigs {
+		h.ht.Remove(s, id)
+	}
+	acc.htRemoves += uint64(len(h.scr.insertSigs))
+}
+
+func (h *HomeEnd) noteDisplacementBatch(rSlot cache.LineID, bs *batchState) {
+	var displacedHome cache.LineID
+	var ok bool
+	if bs.wmt != nil {
+		displacedHome, ok = bs.wmt.Clear(rSlot)
+	} else {
+		displacedHome, ok = h.wmt.Clear(rSlot)
+	}
+	if !ok {
+		return
+	}
+	if line := h.home.ReadByID(displacedHome); line != nil {
+		h.removeLineBatch(line.Data, displacedHome, &bs.acc)
+	}
+}
+
+func (h *HomeEnd) recordOutcomeBatch(p *Payload, acc *batchAcc) {
+	switch {
+	case !p.Compressed:
+		acc.outcomeRaw++
+	case len(p.Refs) == 0:
+		acc.outcomeStand++
+	default:
+		acc.outcomeDiff++
+	}
+	if p.Compressed {
+		acc.refsUsed[len(p.Refs)]++
+	}
+}
+
+// DecodeFills decodes a batch of fill payloads in order, invoking emit
+// for each reconstructed line. The data slice aliases the end's decode
+// scratch and is valid only for the duration of the callback (the same
+// contract as DecodeFill); per-decode counters and Stats are flushed
+// once per batch. Decoding stops at the first corrupt payload, after the
+// prefix's counters are published — identical to a sequential caller.
+func (r *RemoteEnd) DecodeFills(ps []Payload, emit func(i int, data []byte)) error {
+	var decodes, rescues uint64
+	flush := func() {
+		r.Stats.FillDecodes += decodes
+		r.Stats.RescuedRefs += rescues
+		if decodes != 0 {
+			r.mx.fillDecodes.Add(r.shard, decodes)
+		}
+		if rescues != 0 {
+			r.mx.evictRescues.Add(r.shard, rescues)
+		}
+	}
+	for i := range ps {
+		p := &ps[i]
+		decodes++
+		var out []byte
+		if !p.Compressed {
+			if len(p.Raw) != r.lineSize {
+				flush()
+				return fmt.Errorf("core: raw fill of %dB, want %dB: %w", len(p.Raw), r.lineSize, ErrTruncatedPayload)
+			}
+			r.scr.decOut = append(r.scr.decOut[:0], p.Raw...)
+			out = r.scr.decOut
+		} else {
+			r.scr.decRefs = r.scr.decRefs[:0]
+			for _, rid := range p.Refs {
+				if data := r.evbuf.Resolve(rid, p.AckSeq); data != nil {
+					rescues++
+					r.scr.decRefs = append(r.scr.decRefs, data)
+					continue
+				}
+				line := r.remote.ReadByID(rid)
+				if line == nil {
+					flush()
+					return fmt.Errorf("core: fill references empty remote slot %v: %w", rid, ErrBadReference)
+				}
+				r.scr.decRefs = append(r.scr.decRefs, line.Data)
+			}
+			dec, err := compress.DecompressWith(r.engine, &r.scr.dec, p.Diff, r.scr.decRefs, r.lineSize)
+			if err != nil {
+				flush()
+				return fmt.Errorf("core: fill diff: %w: %w", ErrCorruptDiff, err)
+			}
+			out = dec
+		}
+		if emit != nil {
+			emit(i, out)
+		}
+	}
+	flush()
+	return nil
+}

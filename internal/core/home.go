@@ -45,6 +45,13 @@ type HomeEnd struct {
 	lastCands int
 	lastSkip  bool
 
+	// thrSkip[nbits] caches the standalone-threshold decision for every
+	// possible standalone output size (lineSize and threshold are fixed
+	// per end). Entries are computed with the exact float expression the
+	// sequential path evaluates, so a table hit is bit-identical to it.
+	// Built lazily by the batch path; nil until first EncodeFills.
+	thrSkip []bool
+
 	// AckSeq is the highest remote EvictSeq this end has processed;
 	// it is echoed in responses (§IV-A).
 	AckSeq uint64
@@ -129,6 +136,7 @@ func NewHomeEndWithWayMap(cfg Config, home, remote *cache.Cache, wm WayMap) (*Ho
 		lineSize:      home.Config().LineSize,
 	}
 	h.mx, h.shard = homeMetricsIn(cfg.Metrics)
+	h.scr.prime()
 	h.scr.standalone.UseRegistry(cfg.Metrics)
 	h.scr.diff.UseRegistry(cfg.Metrics)
 	return h, nil

@@ -68,6 +68,7 @@ func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
 		lineSize: remote.Config().LineSize,
 	}
 	r.mx, r.shard = remoteMetricsIn(cfg.Metrics)
+	r.scr.prime()
 	r.scr.standalone.UseRegistry(cfg.Metrics)
 	r.scr.diff.UseRegistry(cfg.Metrics)
 	return r, nil

@@ -18,18 +18,43 @@ type WMT struct {
 	ways      int
 	remoteIdx int // remote index bits
 	aliasBits int // home index bits − remote index bits
-	entries   [][]wmtEntry
+	// entries is the flat slot array: slot (set, way) lives at
+	// entries[set*ways+way]. One pooled allocation instead of one per
+	// set keeps cell startup off the allocator (see pool.go) and set
+	// scans on contiguous cache lines.
+	entries []wmtEntry
 
 	// Stats
 	Hits   uint64
 	Misses uint64
 }
 
-type wmtEntry struct {
-	alias   uint64
-	homeWay int
-	valid   bool
+// wmtEntry packs one way-map slot into a single machine word — bit 63
+// valid, bits 48..62 home way, bits 0..47 alias — so a set scan touches
+// at most one cache line (8-way: 64 bytes, vs three lines for the
+// previous three-field struct) and Lookup's three-field compare becomes
+// a single word compare against a precomputed key. The zero value is an
+// invalid slot, which keeps the pooled-backing contract (cleared slices
+// come back all-invalid) for free.
+type wmtEntry uint64
+
+const (
+	wmtValidBit  = wmtEntry(1) << 63
+	wmtWayShift  = 48
+	wmtAliasMask = wmtEntry(1)<<wmtWayShift - 1
+)
+
+// packWMT builds the slot word for a valid mapping. The packing is
+// bijective over (alias < 2^48, way < 2^15) — NewWMT rejects geometries
+// outside that — so equality of packed words is exactly equality of the
+// (valid, alias, homeWay) triples.
+func packWMT(alias uint64, homeWay int) wmtEntry {
+	return wmtValidBit | wmtEntry(homeWay)<<wmtWayShift | wmtEntry(alias)
 }
+
+func (e wmtEntry) valid() bool   { return e&wmtValidBit != 0 }
+func (e wmtEntry) alias() uint64 { return uint64(e & wmtAliasMask) }
+func (e wmtEntry) homeWay() int  { return int(e>>wmtWayShift) & 0x7FFF }
 
 // NewWMT builds a WMT for a home cache of homeCfg tracking a remote
 // cache of remoteCfg. The home cache must have at least as many sets as
@@ -45,10 +70,11 @@ func NewWMT(home, remote *cache.Cache) *WMT {
 		remoteIdx: remote.IndexBits(),
 		aliasBits: home.IndexBits() - remote.IndexBits(),
 	}
-	w.entries = make([][]wmtEntry, w.sets)
-	for i := range w.entries {
-		w.entries[i] = make([]wmtEntry, w.ways)
+	if w.aliasBits >= wmtWayShift || home.Config().Ways > 0x7FFF {
+		panic(fmt.Sprintf("core: WMT geometry overflows packed entry (alias bits %d, home ways %d)",
+			w.aliasBits, home.Config().Ways))
 	}
+	w.entries = wmtEntryPool.get(w.sets * w.ways)
 	return w
 }
 
@@ -61,8 +87,10 @@ func (w *WMT) split(homeID cache.LineID) (remoteIndex int, alias uint64) {
 // the line is not guaranteed to exist in the remote cache.
 func (w *WMT) Lookup(homeID cache.LineID) (cache.LineID, bool) {
 	rIdx, alias := w.split(homeID)
-	for way, e := range w.entries[rIdx] {
-		if e.valid && e.alias == alias && e.homeWay == homeID.Way {
+	key := packWMT(alias, homeID.Way)
+	set := w.entries[rIdx*w.ways : (rIdx+1)*w.ways]
+	for way, e := range set {
+		if e == key {
 			w.Hits++
 			return cache.LineID{Index: rIdx, Way: way}, true
 		}
@@ -78,12 +106,12 @@ func (w *WMT) Reverse(remoteID cache.LineID) (cache.LineID, bool) {
 	if remoteID.Index < 0 || remoteID.Index >= w.sets || remoteID.Way < 0 || remoteID.Way >= w.ways {
 		return cache.LineID{}, false
 	}
-	e := w.entries[remoteID.Index][remoteID.Way]
-	if !e.valid {
+	e := w.entries[remoteID.Index*w.ways+remoteID.Way]
+	if !e.valid() {
 		return cache.LineID{}, false
 	}
-	homeIdx := int(e.alias)<<uint(w.remoteIdx) | remoteID.Index
-	return cache.LineID{Index: homeIdx, Way: e.homeWay}, true
+	homeIdx := int(e.alias())<<uint(w.remoteIdx) | remoteID.Index
+	return cache.LineID{Index: homeIdx, Way: e.homeWay()}, true
 }
 
 // Set records that the home line homeID is resident in the remote cache
@@ -95,12 +123,12 @@ func (w *WMT) Set(remoteID cache.LineID, homeID cache.LineID) (displaced cache.L
 		panic(fmt.Sprintf("core: WMT set index mismatch: home %v maps to remote set %d, slot is %d",
 			homeID, rIdx, remoteID.Index))
 	}
-	e := &w.entries[remoteID.Index][remoteID.Way]
-	if e.valid {
-		displaced = cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | remoteID.Index, Way: e.homeWay}
+	e := &w.entries[remoteID.Index*w.ways+remoteID.Way]
+	if old := *e; old.valid() {
+		displaced = cache.LineID{Index: int(old.alias())<<uint(w.remoteIdx) | remoteID.Index, Way: old.homeWay()}
 		wasValid = true
 	}
-	*e = wmtEntry{alias: alias, homeWay: homeID.Way, valid: true}
+	*e = packWMT(alias, homeID.Way)
 	return displaced, wasValid
 }
 
@@ -110,12 +138,12 @@ func (w *WMT) Clear(remoteID cache.LineID) (cache.LineID, bool) {
 	if remoteID.Index < 0 || remoteID.Index >= w.sets || remoteID.Way < 0 || remoteID.Way >= w.ways {
 		return cache.LineID{}, false
 	}
-	e := &w.entries[remoteID.Index][remoteID.Way]
-	if !e.valid {
+	e := &w.entries[remoteID.Index*w.ways+remoteID.Way]
+	if !e.valid() {
 		return cache.LineID{}, false
 	}
-	homeID := cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | remoteID.Index, Way: e.homeWay}
-	*e = wmtEntry{}
+	homeID := cache.LineID{Index: int(e.alias())<<uint(w.remoteIdx) | remoteID.Index, Way: e.homeWay()}
+	*e = 0
 	return homeID, true
 }
 
@@ -126,18 +154,16 @@ func (w *WMT) ClearHome(homeID cache.LineID) (cache.LineID, bool) {
 	if !ok {
 		return cache.LineID{}, false
 	}
-	w.entries[rID.Index][rID.Way] = wmtEntry{}
+	w.entries[rID.Index*w.ways+rID.Way] = 0
 	return rID, true
 }
 
 // ForEach visits every valid entry as (remoteID, homeID).
 func (w *WMT) ForEach(fn func(remoteID, homeID cache.LineID)) {
-	for idx := range w.entries {
-		for way, e := range w.entries[idx] {
-			if e.valid {
-				fn(cache.LineID{Index: idx, Way: way},
-					cache.LineID{Index: int(e.alias)<<uint(w.remoteIdx) | idx, Way: e.homeWay})
-			}
+	for i, e := range w.entries {
+		if e.valid() {
+			fn(cache.LineID{Index: i / w.ways, Way: i % w.ways},
+				cache.LineID{Index: int(e.alias())<<uint(w.remoteIdx) | i/w.ways, Way: e.homeWay()})
 		}
 	}
 }
@@ -145,11 +171,9 @@ func (w *WMT) ForEach(fn func(remoteID, homeID cache.LineID)) {
 // Occupancy counts valid entries.
 func (w *WMT) Occupancy() int {
 	n := 0
-	for _, set := range w.entries {
-		for _, e := range set {
-			if e.valid {
-				n++
-			}
+	for _, e := range w.entries {
+		if e.valid() {
+			n++
 		}
 	}
 	return n

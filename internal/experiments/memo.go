@@ -37,12 +37,20 @@ import (
 // side effect per run), as does Options.DisableCellMemo (the
 // `-nomemo` CLI flag).
 
-// memoMaxEntries caps the memo's footprint. Reaching the cap clears
-// the whole map: byte-identity is unaffected (the delta merge happens
-// per request either way; a re-computed cell reproduces the same bits),
+// memoMaxEntries caps the memo's footprint (applied per stripe as
+// memoMaxEntries/memoStripes). Reaching a stripe's cap clears that
+// stripe: byte-identity is unaffected (the delta merge happens per
+// request either way; a re-computed cell reproduces the same bits),
 // only the time saved is lost. Full reports have a few hundred distinct
 // cells, so the cap exists for pathological callers, not normal runs.
 const memoMaxEntries = 4096
+
+// memoStripes is the lock-striping factor. Under -parallel the old
+// single mutex was the dominant contention point of a whole RunAll
+// (mutex profiles attributed >60% of all lock wait to it); striping by
+// digest makes concurrent lookups of distinct cells contend only when
+// they hash to the same stripe. Power of two for cheap masking.
+const memoStripes = 64
 
 // memoEntry is one memoized cell. ready is closed once the compute
 // finishes; the remaining fields are written before the close and read
@@ -52,26 +60,58 @@ type memoEntry struct {
 
 	mem *sim.MemLinkResult // slim copy: Chip is nil (no driver reads it)
 	tim *sim.TimingResult
-	// delta is the non-volatile metrics the compute produced, replayed
-	// into the default registry on every request for this cell.
-	delta obs.Snapshot
-	err   error
+	// delta is the cell's non-volatile metrics prepared against the
+	// default registry, re-applied on every request for this cell. A
+	// prepared delta resolves metric pointers once, so replays are
+	// lock-free atomic adds instead of per-counter registry locking.
+	delta obs.MergeDelta
+	// savedBits is the cell's core.source_bits, precomputed so hits can
+	// account saved work without a map lookup.
+	savedBits uint64
+	err       error
 }
 
-type cellMemo struct {
+// memoStripe is one lock + map shard of the cell memo.
+type memoStripe struct {
 	mu      sync.Mutex
 	entries map[sim.Digest]*memoEntry
 }
 
-var memo = cellMemo{entries: map[sim.Digest]*memoEntry{}}
+type cellMemo struct {
+	stripes [memoStripes]memoStripe
+}
+
+var memo cellMemo
+
+// stripe picks the stripe for a digest. Digests are FNV-1a output, so
+// any byte is uniformly mixed.
+func (m *cellMemo) stripe(d sim.Digest) *memoStripe {
+	return &m.stripes[uint32(d[0])&(memoStripes-1)]
+}
+
+// len counts memoized cells across all stripes (tests and the live
+// metrics view).
+func (m *cellMemo) len() int {
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // ResetCellMemo drops every memoized cell. Tests that compare metric
 // dumps across runs reset the memo alongside obs.Default() so both
 // runs see the same hit/miss sequence.
 func ResetCellMemo() {
-	memo.mu.Lock()
-	memo.entries = map[sim.Digest]*memoEntry{}
-	memo.mu.Unlock()
+	for i := range memo.stripes {
+		s := &memo.stripes[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.mu.Unlock()
+	}
 }
 
 // memoCounters instruments the memo itself. Hit/miss/bypass counts are
@@ -110,18 +150,23 @@ func memoMetrics() *memoCounters {
 
 // lookup returns the entry for a digest and whether this caller owns
 // the compute (miss). On a miss the caller MUST fill the entry and
-// close ready, even on error — waiters block on it.
+// close ready, even on error — waiters block on it. Only the digest's
+// stripe is locked, and only for the map access — computes run outside
+// the lock (single-flight via the ready channel).
 func (m *cellMemo) lookup(d sim.Digest) (*memoEntry, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e, ok := m.entries[d]; ok {
+	s := m.stripe(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok {
 		return e, false
 	}
-	if len(m.entries) >= memoMaxEntries {
-		m.entries = map[sim.Digest]*memoEntry{}
+	if s.entries == nil {
+		s.entries = make(map[sim.Digest]*memoEntry)
+	} else if len(s.entries) >= memoMaxEntries/memoStripes {
+		s.entries = make(map[sim.Digest]*memoEntry)
 	}
 	e := &memoEntry{ready: make(chan struct{})}
-	m.entries[d] = e
+	s.entries[d] = e
 	return e, true
 }
 
@@ -149,15 +194,26 @@ func copyMemLinkResult(r *sim.MemLinkResult) *sim.MemLinkResult {
 	return out
 }
 
-// finish publishes a request's observable effects: the metrics delta is
-// merged into the default registry (hit and miss alike, keeping totals
-// equal to a memo-disabled run) and saved work is accounted on hits.
+// finish publishes a request's observable effects: the prepared metrics
+// delta is applied to the default registry (hit and miss alike, keeping
+// totals equal to a memo-disabled run) and saved work is accounted on
+// hits. Applying a prepared delta takes no locks.
 func (e *memoEntry) finish(mx *memoCounters, hit bool, shard uint32) {
-	obs.Default().Merge(e.delta)
+	e.delta.Apply(shard)
 	if hit {
 		mx.hits.Inc(shard)
-		mx.savedBytes.Add(shard, e.delta.Counters["core.source_bits"]/8)
+		mx.savedBytes.Add(shard, e.savedBits/8)
 	}
+}
+
+// seal stores the compute's metrics delta — prepared once against the
+// default registry so every replay is lock-free — and publishes the
+// entry to waiters.
+func (e *memoEntry) seal(reg *obs.Registry) {
+	snap := reg.Snapshot(false)
+	e.savedBits = snap.Counters["core.source_bits"]
+	e.delta = obs.Default().PrepareMerge(snap)
+	close(e.ready)
 }
 
 // runMemLink is the memoizing front end every driver uses in place of
@@ -188,9 +244,13 @@ func runMemLink(opt Options, cfg sim.MemLinkConfig) (*sim.MemLinkResult, error) 
 	mx.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
 	e.mem = copyMemLinkResult(res)
 	e.err = err
-	e.delta = reg.Snapshot(false)
-	close(e.ready)
+	e.seal(reg)
 	e.finish(mx, false, shard)
+	if res != nil && res.Chip != nil {
+		// The memoized copy dropped the chip; recycle its tables and
+		// line backings for the next cell.
+		res.Chip.Release()
+	}
 	return copyMemLinkResult(e.mem), err
 }
 
@@ -226,8 +286,7 @@ func runTiming(opt Options, cfg sim.TimingConfig) (*sim.TimingResult, error) {
 		e.tim = &cp
 	}
 	e.err = err
-	e.delta = reg.Snapshot(false)
-	close(e.ready)
+	e.seal(reg)
 	e.finish(mx, false, shard)
 	if e.tim == nil {
 		return nil, err

@@ -85,10 +85,7 @@ func TestCellMemoReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	memo.mu.Lock()
-	entries := len(memo.entries)
-	memo.mu.Unlock()
-	if entries != 1 {
+	if entries := memo.len(); entries != 1 {
 		t.Fatalf("memo holds %d entries after two identical requests, want 1", entries)
 	}
 	if !reflect.DeepEqual(first.Total, second.Total) ||

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"cable/internal/fault"
 )
 
 func TestCellRun(t *testing.T) {
@@ -88,6 +91,42 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		if s, p := serial.Table.String(), parallel.Table.String(); s != p {
 			t.Errorf("%s: parallel table differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+}
+
+// TestParallelDeterminismUnderFault pins the same invariant with the
+// link-fault layer armed: the fault pattern is keyed by payload content
+// and seed, never by scheduling, so an 8-worker pool must corrupt
+// exactly the same wire images — and hence render the same tables and
+// notes — as a serial run, with the cell memo on or off. PR 4 proved
+// this only via a ci/check.sh binary diff; this is the in-tree gate
+// (ci/check.sh also runs it under GOMAXPROCS=2 -race).
+func TestParallelDeterminismUnderFault(t *testing.T) {
+	ids := []string{"fig11", "fig13"}
+	fc := fault.Config{BitRate: 1e-4, TruncRate: 1e-5, Seed: 7}
+	render := func(opt Options) []string {
+		t.Helper()
+		results, err := RunAll(ids, opt)
+		if err != nil {
+			t.Fatalf("RunAll(parallel=%d, nomemo=%v): %v", opt.Parallelism, opt.DisableCellMemo, err)
+		}
+		out := make([]string, len(results))
+		for i, r := range results {
+			out[i] = r.Table.String() + "\n" + strings.Join(r.Notes, "\n")
+		}
+		return out
+	}
+	base := render(Options{Quick: true, Parallelism: 1, Fault: fc})
+	for _, par := range []int{2, 8} {
+		for _, nomemo := range []bool{false, true} {
+			got := render(Options{Quick: true, Parallelism: par, Fault: fc, DisableCellMemo: nomemo})
+			for i := range base {
+				if got[i] != base[i] {
+					t.Errorf("%s: faulted run at parallel=%d nomemo=%v differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+						ids[i], par, nomemo, base[i], got[i])
+				}
+			}
 		}
 	}
 }

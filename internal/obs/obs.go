@@ -167,6 +167,44 @@ func (h *Histogram) merge(s HistSnapshot) {
 	}
 }
 
+// HistAcc accumulates observations in plain (non-atomic) fields so a
+// batch-processing hot loop can observe per item and pay the atomic
+// cost once: FlushTo folds the whole accumulation into a Histogram with
+// one atomic add per touched field. An accumulator belongs to one
+// goroutine.
+type HistAcc struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Observe records one value locally (same bucketing as
+// Histogram.Observe).
+func (a *HistAcc) Observe(v uint64) {
+	a.Count++
+	a.Sum += v
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	a.Buckets[b]++
+}
+
+// FlushTo folds the accumulation into h and resets the accumulator.
+func (a *HistAcc) FlushTo(h *Histogram) {
+	if a.Count == 0 && a.Sum == 0 {
+		return
+	}
+	h.count.Add(a.Count)
+	h.sum.Add(a.Sum)
+	for i, v := range a.Buckets {
+		if v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	*a = HistAcc{}
+}
+
 // HistSnapshot is the exported form of a Histogram.
 type HistSnapshot struct {
 	Count uint64 `json:"count"`
@@ -278,15 +316,104 @@ func (r *Registry) Reset() {
 // Memoized simulation cells use this: a cell runs once against a
 // private registry and its delta is merged here on every logical
 // request, computed or cached, keeping totals request-accurate.
+//
+// A one-shot merge is PrepareMerge + Apply; callers replaying the same
+// snapshot many times (the cell memo) should prepare once and re-apply
+// the delta, which skips the registry lock entirely.
 func (r *Registry) Merge(s Snapshot) {
+	r.PrepareMerge(s).Apply(NextShard())
+}
+
+// counterDelta / gaugeDelta / histDelta pair a resolved metric with the
+// amount one Apply adds to it.
+type counterDelta struct {
+	c *Counter
+	v uint64
+}
+
+type gaugeDelta struct {
+	g *Gauge
+	v int64
+}
+
+type histDelta struct {
+	h *Histogram
+	s HistSnapshot
+}
+
+// MergeDelta is a Snapshot resolved against a destination registry:
+// every metric named in the snapshot has been looked up (and created,
+// non-volatile, when absent — zero values included, preserving Merge's
+// name-set parity) under a single registry lock. Applying the delta is
+// pure lock-free atomic adds, so a prepared delta can be re-applied on
+// every memo hit without touching the registry mutex — the serialization
+// point the per-counter Merge path used to be under -parallel.
+type MergeDelta struct {
+	counters []counterDelta
+	gauges   []gaugeDelta
+	hists    []histDelta
+}
+
+// PrepareMerge resolves s against r, creating absent metrics, and
+// returns a reusable delta. The registry lock is taken exactly once.
+func (r *Registry) PrepareMerge(s Snapshot) MergeDelta {
+	d := MergeDelta{}
+	if len(s.Counters) > 0 {
+		d.counters = make([]counterDelta, 0, len(s.Counters))
+	}
+	if len(s.Gauges) > 0 {
+		d.gauges = make([]gaugeDelta, 0, len(s.Gauges))
+	}
+	if len(s.Histograms) > 0 {
+		d.hists = make([]histDelta, 0, len(s.Histograms))
+	}
+	r.mu.Lock()
 	for name, v := range s.Counters {
-		r.Counter(name).Add(0, v)
+		c, ok := r.counters[name]
+		if !ok {
+			c = &Counter{name: name}
+			r.counters[name] = c
+		}
+		d.counters = append(d.counters, counterDelta{c: c, v: v})
 	}
 	for name, v := range s.Gauges {
-		r.Gauge(name).Add(v)
+		g, ok := r.gauges[name]
+		if !ok {
+			g = &Gauge{name: name}
+			r.gauges[name] = g
+		}
+		d.gauges = append(d.gauges, gaugeDelta{g: g, v: v})
 	}
 	for name, hs := range s.Histograms {
-		r.Histogram(name).merge(hs)
+		h, ok := r.hists[name]
+		if !ok {
+			h = &Histogram{name: name}
+			r.hists[name] = h
+		}
+		d.hists = append(d.hists, histDelta{h: h, s: hs})
+	}
+	r.mu.Unlock()
+	return d
+}
+
+// Apply adds the delta once, on the given counter shard. It is safe to
+// call concurrently and repeatedly; zero-valued entries cost nothing
+// (their metrics were already created by PrepareMerge).
+func (d MergeDelta) Apply(shard uint32) {
+	for _, cd := range d.counters {
+		if cd.v != 0 {
+			cd.c.Add(shard, cd.v)
+		}
+	}
+	for _, gd := range d.gauges {
+		if gd.v != 0 {
+			gd.g.Add(gd.v)
+		}
+	}
+	for _, hd := range d.hists {
+		if hd.s.Count != 0 || hd.s.Sum != 0 {
+			hd.h.merge(hd.s)
+		}
 	}
 }
 

@@ -224,3 +224,89 @@ func TestNextShardInRange(t *testing.T) {
 		}
 	}
 }
+
+// mergeSource builds the snapshot the merge tests replay: counters,
+// gauges and histograms, including zero-valued entries (Merge must
+// still create those for name-set parity).
+func mergeSource() Snapshot {
+	src := NewRegistry()
+	src.Counter("m.count").Add(0, 3)
+	src.Counter("m.zero")
+	src.Gauge("m.gauge").Add(-2)
+	src.Gauge("m.gzero")
+	src.Histogram("m.hist").Observe(5)
+	src.Histogram("m.hist").Observe(300)
+	src.Histogram("m.hzero")
+	return src.Snapshot(false)
+}
+
+// TestConcurrentMerge drives Registry.Merge from many goroutines (run
+// under -race in CI) and checks the final non-volatile snapshot equals
+// the serial sum of the same merges.
+func TestConcurrentMerge(t *testing.T) {
+	s := mergeSource()
+	const workers, perWorker = 8, 200
+
+	serial := NewRegistry()
+	for i := 0; i < workers*perWorker; i++ {
+		serial.Merge(s)
+	}
+
+	conc := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				conc.Merge(s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	want, err := json.Marshal(serial.Snapshot(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(conc.Snapshot(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concurrent merge diverged from serial sum:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestPreparedMergeDelta checks PrepareMerge + repeated Apply matches
+// the same number of Merge calls, including metric creation for
+// zero-valued names, and that concurrent Applys of one delta are safe.
+func TestPreparedMergeDelta(t *testing.T) {
+	s := mergeSource()
+	const applies = 50
+
+	viaMerge := NewRegistry()
+	for i := 0; i < applies; i++ {
+		viaMerge.Merge(s)
+	}
+
+	viaDelta := NewRegistry()
+	d := viaDelta.PrepareMerge(s)
+	var wg sync.WaitGroup
+	for w := 0; w < 5; w++ {
+		wg.Add(1)
+		go func(shard uint32) {
+			defer wg.Done()
+			for i := 0; i < applies/5; i++ {
+				d.Apply(shard)
+			}
+		}(NextShard())
+	}
+	wg.Wait()
+
+	want, _ := json.Marshal(viaMerge.Snapshot(false))
+	got, _ := json.Marshal(viaDelta.Snapshot(false))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("prepared delta diverged from Merge:\n got %s\nwant %s", got, want)
+	}
+}

@@ -4,7 +4,10 @@
 // search pipeline.
 package sig
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
 // H3 is an instance of the H3 universal hash family (Carter & Wegman).
 // Each of the 32 input bits selects a random row; the hash is the XOR of
@@ -12,6 +15,12 @@ import "math/rand"
 // bit) which is why the paper's RTL uses it.
 type H3 struct {
 	rows [32]uint32
+	// tbl[k][b] precomputes the XOR of rows 8k..8k+7 selected by byte
+	// value b, so Hash is four table lookups instead of a 32-iteration
+	// bit loop — hashing is the hottest operation of the encode path
+	// (every search/insert signature flows through it). By XOR
+	// linearity the result is bit-identical to the row-by-row form.
+	tbl [4][256]uint32
 }
 
 // NewH3 builds an H3 instance from a deterministic seed so that home and
@@ -22,17 +31,16 @@ func NewH3(seed int64) *H3 {
 	for i := range h.rows {
 		h.rows[i] = rng.Uint32()
 	}
+	for k := 0; k < 4; k++ {
+		for b := 1; b < 256; b++ {
+			// Peel the lowest set bit; the rest is already computed.
+			h.tbl[k][b] = h.tbl[k][b&(b-1)] ^ h.rows[8*k+bits.TrailingZeros32(uint32(b))]
+		}
+	}
 	return h
 }
 
 // Hash maps a 32-bit word to a 32-bit hash.
 func (h *H3) Hash(x uint32) uint32 {
-	var out uint32
-	for i := 0; x != 0; i++ {
-		if x&1 != 0 {
-			out ^= h.rows[i]
-		}
-		x >>= 1
-	}
-	return out
+	return h.tbl[0][x&0xff] ^ h.tbl[1][x>>8&0xff] ^ h.tbl[2][x>>16&0xff] ^ h.tbl[3][x>>24]
 }

@@ -212,6 +212,31 @@ func newSchemeMeter(scheme string, cfg link.Config, reg *obs.Registry) (Meter, e
 	}
 }
 
+// Release recycles the chip's caches and link-end table backings into
+// their pools (see core/pool.go and cache/pool.go). Only callers that
+// can prove nothing retains the chip may call it: the memoizing
+// experiment runner releases chips after deep-copying their results
+// (memoized results carry Chip == nil), and RunTiming releases its
+// private chip before returning. A released chip is unusable.
+func (c *Chip) Release() {
+	if c.Home != nil {
+		c.Home.Release()
+		c.Home = nil
+	}
+	if c.Remote != nil {
+		c.Remote.Release()
+		c.Remote = nil
+	}
+	if c.LLC != nil {
+		c.LLC.Release()
+		c.LLC = nil
+	}
+	if c.L4 != nil {
+		c.L4.Release()
+		c.L4 = nil
+	}
+}
+
 // ResetStats zeroes every accumulated counter — event counts, meter
 // ratios and link accounting — without touching cache or CABLE
 // structure state. The timing simulator calls it after functional

@@ -41,6 +41,14 @@ func newPrivateHier(cfg PrivateConfig) *privateHier {
 	}
 }
 
+// release recycles the private levels' line backings (the hierarchy is
+// per-thread and per-run, so the timing simulator releases it on exit).
+func (p *privateHier) release() {
+	p.l1.Release()
+	p.l2.Release()
+	p.l1, p.l2 = nil, nil
+}
+
 // lookup probes L1 then L2, installing on hit promotion. It returns
 // which level hit (1, 2) or 0 for a miss; misses are installed in both
 // levels (allocate on fill).

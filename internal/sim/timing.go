@@ -350,5 +350,11 @@ func RunTiming(cfg TimingConfig) (*TimingResult, error) {
 	res.CompOps = chip.CompOps
 	res.DecompOps = chip.DecompOps
 	res.SearchReads = chip.L4.Stats.DataReads
+	// The result carries plain numbers only — recycle the run's chip
+	// and private hierarchies for the next cell.
+	for _, th := range allThreads {
+		th.priv.release()
+	}
+	chip.Release()
 	return res, nil
 }

@@ -1,7 +1,14 @@
 // Command benchjson converts `go test -bench -benchmem` output on
 // stdin into a stable JSON array on stdout, so benchmark snapshots can
-// be committed (see the Makefile's bench-json target) and diffed across
-// PRs without parsing bench text by hand.
+// be committed (see the Makefile's bench-json and bench-scaling
+// targets) and diffed across PRs without parsing bench text by hand.
+//
+// Each result records the package it came from (the most recent "pkg:"
+// header — BENCH_pr5.json wrongly stamped one file-level pkg on every
+// result) and the GOMAXPROCS suffix `go test -cpu` appends to benchmark
+// names. For scaling families run at -cpu 1,2,4,... the converter also
+// derives speedup and per-core efficiency against the same benchmark's
+// 1-cpu baseline, which is what the README's scaling table quotes.
 package main
 
 import (
@@ -16,20 +23,27 @@ import (
 
 // benchResult is one benchmark line.
 type benchResult struct {
-	Name       string  `json:"name"`
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	// Cpus is the GOMAXPROCS the benchmark ran under (the -N name
+	// suffix); 1 when the name carries no suffix.
+	Cpus       int     `json:"cpus"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	MBPerSec   float64 `json:"mb_per_sec,omitempty"`
-	// bytes/allocs are not omitempty: the bench-json target always
-	// passes -benchmem, and 0 allocs/op is the encode path's headline.
+	// bytes/allocs are not omitempty: the bench targets always pass
+	// -benchmem, and 0 allocs/op is the encode path's headline.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Speedup and Efficiency are filled for results whose (pkg, base
+	// name) also ran at 1 cpu: ns@1cpu / ns@Ncpu, and that divided by N.
+	Speedup    float64 `json:"speedup,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
 }
 
 type benchFile struct {
 	Goos    string        `json:"goos,omitempty"`
 	Goarch  string        `json:"goarch,omitempty"`
-	Pkg     string        `json:"pkg,omitempty"`
 	Results []benchResult `json:"results"`
 }
 
@@ -40,10 +54,23 @@ var (
 	bytesOp    = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsOp   = regexp.MustCompile(`(\d+) allocs/op`)
 	throughput = regexp.MustCompile(`([\d.]+) MB/s`)
+	cpuSuffix  = regexp.MustCompile(`^(.+)-(\d+)$`)
 )
+
+// splitCPU separates the -N GOMAXPROCS suffix go test appends from the
+// base benchmark name; a name without one ran at 1.
+func splitCPU(name string) (base string, cpus int) {
+	if m := cpuSuffix.FindStringSubmatch(name); m != nil {
+		if n, err := strconv.Atoi(m[2]); err == nil && n > 0 {
+			return m[1], n
+		}
+	}
+	return name, 1
+}
 
 func main() {
 	out := benchFile{Results: []benchResult{}}
+	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -54,7 +81,7 @@ func main() {
 		case strings.HasPrefix(line, "goarch: "):
 			out.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+			pkg = strings.TrimPrefix(line, "pkg: ")
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -62,7 +89,8 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+		r := benchResult{Name: m[1], Pkg: pkg, Iterations: iters, NsPerOp: ns}
+		_, r.Cpus = splitCPU(r.Name)
 		if bm := bytesOp.FindStringSubmatch(line); bm != nil {
 			b, _ := strconv.ParseFloat(bm[1], 64)
 			r.BytesPerOp = int64(b)
@@ -79,6 +107,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Baselines: first 1-cpu result per (pkg, base name).
+	base1 := map[string]float64{}
+	for _, r := range out.Results {
+		base, cpus := splitCPU(r.Name)
+		key := r.Pkg + " " + base
+		if cpus == 1 {
+			if _, ok := base1[key]; !ok {
+				base1[key] = r.NsPerOp
+			}
+		}
+	}
+	for i := range out.Results {
+		r := &out.Results[i]
+		base, cpus := splitCPU(r.Name)
+		if cpus <= 1 || r.NsPerOp <= 0 {
+			continue
+		}
+		if ns1, ok := base1[r.Pkg+" "+base]; ok {
+			r.Speedup = ns1 / r.NsPerOp
+			r.Efficiency = r.Speedup / float64(cpus)
+		}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
