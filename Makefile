@@ -26,6 +26,13 @@ check:
 	go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
 	go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
 	GOMAXPROCS=2 go test -race -run TestParallelDeterminism -count=1 ./internal/experiments
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go run ./cmd/cablesim -exp fig12 -quick -parallel 1 -windows "$$tmp/w1.json" -timeline "$$tmp/t1.json" >/dev/null && \
+	go run ./cmd/cablesim -exp fig12 -quick -parallel 8 -nomemo -gomaxprocs 2 -windows "$$tmp/w8.json" -timeline "$$tmp/t8.json" >/dev/null && \
+	cmp "$$tmp/w1.json" "$$tmp/w8.json" && cmp "$$tmp/t1.json" "$$tmp/t8.json" && \
+	go run ./tools/traceexport -in "$$tmp/t1.json" -o "$$tmp/trace.json" && \
+	go run ./tools/traceexport -validate "$$tmp/trace.json"
+	go run ./tools/benchjson -compare BENCH_pr5.json BENCH_pr6.json -max-regress 10
 	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -run=NOTHING -bench 'BenchmarkRunAllScaling$$|BenchmarkMemLinkProtocolScaling$$' -benchtime=1x -benchmem -cpu 1,2 . | go run ./tools/benchjson >/dev/null
 	go test -race -timeout 45m ./...

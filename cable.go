@@ -310,5 +310,37 @@ func MetricValue(name string) uint64 {
 
 // MetricsHandler serves the live registry over HTTP: /metrics (JSON),
 // /metrics.txt, and the standard /debug/pprof endpoints. Backs the
-// cablesim -http flag.
-func MetricsHandler() http.Handler { return obs.Handler(obs.Default()) }
+// cablesim -http flag. Use MetricsHandlerFor to additionally serve a
+// flight recorder's /windows, /timeline, and /health dashboard.
+func MetricsHandler() http.Handler { return MetricsHandlerFor(nil) }
+
+// MetricsHandlerFor is MetricsHandler plus the flight recorder
+// endpoints: /windows (windowed time series), /timeline (event
+// timeline), and /health (self-contained HTML link-health dashboard
+// with per-link sparklines and Go runtime health tiles). A nil flight
+// serves 404 on /windows and /timeline; /health still renders the
+// runtime tiles.
+func MetricsHandlerFor(f *Flight) http.Handler { return obs.HandlerWith(obs.Default(), f) }
+
+// Flight collects one virtual-time flight recorder per simulation cell
+// of an experiment run. Attach one via ExperimentOptions.Flight, then
+// export with WriteWindowsFile / WriteTimelineFile (deterministic with
+// includeVolatile false: byte-identical at any Parallelism, memo on or
+// off, any GOMAXPROCS) or serve it live via MetricsHandlerFor.
+type Flight = obs.Flight
+
+// FlightConfig sizes flight recorders: virtual-time window length,
+// ring bounds, and optional volatile wall-clock span durations.
+type FlightConfig = obs.FlightConfig
+
+// FlightRecorder is one simulation's virtual-time flight recorder:
+// per-link windowed counters plus a span/event timeline. Attach one
+// directly via the sim configs' Recorder fields, or let a Flight manage
+// one per cell.
+type FlightRecorder = obs.Recorder
+
+// NewFlight builds a flight collection whose recorders share cfg.
+func NewFlight(cfg FlightConfig) *Flight { return obs.NewFlight(cfg) }
+
+// NewFlightRecorder builds a standalone flight recorder.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return obs.NewRecorder(cfg) }

@@ -57,6 +57,25 @@ go run ./cmd/cablesim -exp fig12 -quick -parallel 1 -fault-rate 1e-3 -fault-seed
 go run ./cmd/cablesim -exp fig12 -quick -parallel 8 -fault-rate 1e-3 -fault-seed 7 >"$tmpdir/p8.txt"
 cmp "$tmpdir/p1.txt" "$tmpdir/p8.txt"
 
+echo "== flight-recorder determinism (windows+timeline, any -parallel, memo on/off)"
+# The flight recorder's dump files are keyed to virtual time, so they
+# must be byte-identical across worker counts, GOMAXPROCS, and the
+# cell-memo being on or off. Compare the adversarial corner (8 workers,
+# memo disabled, 2 OS threads) against the serial memoized baseline.
+go run ./cmd/cablesim -exp fig12 -quick -parallel 1 \
+    -windows "$tmpdir/w1.json" -timeline "$tmpdir/t1.json" >/dev/null
+go run ./cmd/cablesim -exp fig12 -quick -parallel 8 -nomemo -gomaxprocs 2 \
+    -windows "$tmpdir/w8.json" -timeline "$tmpdir/t8.json" >/dev/null
+cmp "$tmpdir/w1.json" "$tmpdir/w8.json"
+cmp "$tmpdir/t1.json" "$tmpdir/t8.json"
+
+echo "== trace-export smoke (record -> convert -> validate)"
+go run ./tools/traceexport -in "$tmpdir/t1.json" -o "$tmpdir/trace.json"
+go run ./tools/traceexport -validate "$tmpdir/trace.json"
+
+echo "== bench regression gate (pr5 -> pr6 snapshots)"
+go run ./tools/benchjson -compare BENCH_pr5.json BENCH_pr6.json -max-regress 10
+
 echo "== parallel determinism under 2 workers (-race)"
 # The in-tree gate for the runner's bit-identity contract, clean and
 # fault-injected, under a deliberately tiny GOMAXPROCS so the pool is

@@ -11,6 +11,9 @@
 //	cablereport -gomaxprocs 2    # cap scheduler parallelism (scaling runs)
 //	cablereport -breakdown   # only the encoding-class coverage table
 //	cablereport -metrics m.json  # dump the metrics registry after the run
+//	cablereport -http :6060      # live /metrics, /health dashboard and /debug/pprof
+//	cablereport -windows w.json  # dump the flight recorder's windowed time series
+//	cablereport -timeline t.json # dump the event timeline (tools/traceexport input)
 //
 // Experiments run concurrently but the report streams in paper order:
 // each section is written as soon as it and everything before it have
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -36,6 +40,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within experiments")
 	breakdown := flag.Bool("breakdown", false, "run only the encoding-class coverage table")
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
+	httpAddr := flag.String("http", "", "serve live /metrics, /windows, /timeline, /health and /debug/pprof on this address while running")
+	windowsOut := flag.String("windows", "", "write a deterministic flight-recorder windowed time-series JSON dump to this file after the run")
+	timelineOut := flag.String("timeline", "", "write a deterministic flight-recorder event-timeline JSON dump to this file after the run")
+	flightWindow := flag.Int("flight-window", 0, "flight-recorder window length in virtual-time ticks (0 = default 2048)")
 	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
 	faultRate := flag.Float64("fault-rate", 0, "per-bit flip probability injected into CABLE wire images (0 disables; outputs at 0 are byte-identical to a fault-free build)")
 	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
@@ -45,6 +53,21 @@ func main() {
 
 	if *gomaxprocs > 0 {
 		runtime.GOMAXPROCS(*gomaxprocs)
+	}
+
+	// Build the flight recorder whenever a consumer wants it; wall-clock
+	// span durations are captured only for the live view (the dump files
+	// stay deterministic either way).
+	var flight *cable.Flight
+	if *windowsOut != "" || *timelineOut != "" || *httpAddr != "" {
+		flight = cable.NewFlight(cable.FlightConfig{Window: *flightWindow, WallClock: *httpAddr != ""})
+	}
+	if *httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, cable.MetricsHandlerFor(flight)); err != nil {
+				fmt.Fprintf(os.Stderr, "cablereport: -http: %v\n", err)
+			}
+		}()
 	}
 
 	var w io.Writer = os.Stdout
@@ -72,7 +95,8 @@ func main() {
 	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
 	opt := cable.ExperimentOptions{
 		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
-		Fault: cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Fault:  cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Flight: flight,
 	}
 	srcBits := cable.MetricValue("core.source_bits")
 	total := time.Now()
@@ -105,6 +129,18 @@ func main() {
 	if *metrics != "" {
 		if err := cable.WriteMetricsFile(*metrics, false); err != nil {
 			fmt.Fprintf(os.Stderr, "cablereport: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *windowsOut != "" {
+		if err := flight.WriteWindowsFile(*windowsOut, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: windows: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		if err := flight.WriteTimelineFile(*timelineOut, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: timeline: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -8,7 +8,9 @@
 //	cablesim -exp fig21 -parallel 8  # bound the per-cell worker pool
 //	cablesim -exp fig12 -gomaxprocs 2  # cap scheduler parallelism (scaling runs)
 //	cablesim -exp fig12 -metrics m.json  # dump the metrics registry after the run
-//	cablesim -exp fig12 -http :6060      # live /metrics and /debug/pprof during the run
+//	cablesim -exp fig12 -http :6060      # live /metrics, /health dashboard and /debug/pprof
+//	cablesim -exp fig12 -windows w.json  # dump the flight recorder's windowed time series
+//	cablesim -exp fig12 -timeline t.json # dump the event timeline (tools/traceexport input)
 //	cablesim -list                 # list experiment ids
 package main
 
@@ -29,7 +31,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the driver's independent cells")
 	metrics := flag.String("metrics", "", "write a deterministic metrics-registry JSON dump to this file after the run")
-	httpAddr := flag.String("http", "", "serve live /metrics and /debug/pprof on this address while running")
+	httpAddr := flag.String("http", "", "serve live /metrics, /windows, /timeline, /health and /debug/pprof on this address while running")
+	windowsOut := flag.String("windows", "", "write a deterministic flight-recorder windowed time-series JSON dump to this file after the run")
+	timelineOut := flag.String("timeline", "", "write a deterministic flight-recorder event-timeline JSON dump to this file after the run")
+	flightWindow := flag.Int("flight-window", 0, "flight-recorder window length in virtual-time ticks (0 = default 2048)")
 	nomemo := flag.Bool("nomemo", false, "disable the cross-experiment cell cache (outputs are bit-identical either way)")
 	faultRate := flag.Float64("fault-rate", 0, "per-bit flip probability injected into CABLE wire images (0 disables; outputs at 0 are byte-identical to a fault-free build)")
 	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
@@ -41,9 +46,18 @@ func main() {
 		runtime.GOMAXPROCS(*gomaxprocs)
 	}
 
+	// The flight recorder is built whenever any consumer wants it: the
+	// dump flags or the live dashboard. Wall-clock span durations are
+	// volatile, so they are only captured for the live view — the
+	// -windows/-timeline files are deterministic either way.
+	var flight *cable.Flight
+	if *windowsOut != "" || *timelineOut != "" || *httpAddr != "" {
+		flight = cable.NewFlight(cable.FlightConfig{Window: *flightWindow, WallClock: *httpAddr != ""})
+	}
+
 	if *httpAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, cable.MetricsHandler()); err != nil {
+			if err := http.ListenAndServe(*httpAddr, cable.MetricsHandlerFor(flight)); err != nil {
 				fmt.Fprintf(os.Stderr, "cablesim: -http: %v\n", err)
 			}
 		}()
@@ -61,7 +75,8 @@ func main() {
 	}
 	opt := cable.ExperimentOptions{
 		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
-		Fault: cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Fault:  cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Flight: flight,
 	}
 	srcBits := cable.MetricValue("core.source_bits")
 	start := time.Now()
@@ -86,6 +101,18 @@ func main() {
 	if *metrics != "" {
 		if err := cable.WriteMetricsFile(*metrics, false); err != nil {
 			fmt.Fprintf(os.Stderr, "cablesim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *windowsOut != "" {
+		if err := flight.WriteWindowsFile(*windowsOut, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: windows: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		if err := flight.WriteTimelineFile(*timelineOut, false); err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: timeline: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -39,6 +39,11 @@ type HomeEnd struct {
 	// pointer check on the encode path).
 	tr *obs.Tracer
 
+	// rec/recTrack feed the optional flight recorder (nil = disabled,
+	// same one-pointer-check discipline as tr).
+	rec      *obs.Recorder
+	recTrack *obs.Track
+
 	// lastSigs/lastCands/lastSkip describe the most recent encode's
 	// search, for the trace record.
 	lastSigs  int
@@ -149,6 +154,10 @@ func (h *HomeEnd) SetTracer(t *obs.Tracer) { h.tr = t }
 // Tracer returns the attached decision tracer, if any.
 func (h *HomeEnd) Tracer() *obs.Tracer { return h.tr }
 
+// SetRecorder attaches (or, with nil, detaches) the flight recorder.
+// Encodes and write-back decodes on this end land on track t.
+func (h *HomeEnd) SetRecorder(rec *obs.Recorder, t *obs.Track) { h.rec, h.recTrack = rec, t }
+
 // RemoteLIDBits is the transmitted pointer width (Table III), or the
 // configured override for the tag-pointer ablation.
 func (h *HomeEnd) RemoteLIDBits() int {
@@ -230,6 +239,10 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 	h.mx.fills.Inc(h.shard)
 	h.mx.sourceBits.Add(h.shard, uint64(len(data)*8))
 
+	var encStart int64
+	if h.rec != nil {
+		encStart = h.rec.Clock()
+	}
 	payload, lat := h.encode(data)
 
 	// Synchronization (§III-F). The displaced occupant of the target
@@ -250,6 +263,9 @@ func (h *HomeEnd) encodeFillData(lineAddr uint64, data []byte, state cache.State
 	h.mx.payloadBits.Add(h.shard, uint64(pbits))
 	h.mx.payloadDist.Observe(uint64(pbits))
 	h.recordOutcome(payload)
+	if h.rec != nil {
+		h.rec.Encode(h.recTrack, payloadClass(payload), pbits, h.lastSkip, h.rec.Clock()-encStart)
+	}
 	if h.tr != nil {
 		h.tr.Record(obs.EncodeRecord{
 			LineAddr:      lineAddr,
@@ -476,6 +492,12 @@ func (h *HomeEnd) OnUpgrade(lineAddr uint64) {
 func (h *HomeEnd) DecodeWriteback(p Payload) ([]byte, error) {
 	h.Stats.WBDecodes++
 	h.mx.wbDecodes.Inc(h.shard)
+	if h.rec != nil {
+		start := h.rec.Clock()
+		defer func() {
+			h.rec.Span(h.recTrack, obs.EvWBDecode, p.Bits(h.RemoteLIDBits()), h.rec.Clock()-start)
+		}()
+	}
 	if !p.Compressed {
 		if len(p.Raw) != h.lineSize {
 			return nil, fmt.Errorf("core: raw writeback of %dB, want %dB: %w", len(p.Raw), h.lineSize, ErrTruncatedPayload)

@@ -5,6 +5,7 @@ import (
 
 	"cable/internal/cache"
 	"cable/internal/compress"
+	"cable/internal/obs"
 	"cable/internal/sig"
 )
 
@@ -27,6 +28,11 @@ type RemoteEnd struct {
 
 	mx    *remoteCounters
 	shard uint32
+
+	// rec/recTrack feed the optional flight recorder (nil = disabled,
+	// one pointer check per decode/WB-encode).
+	rec      *obs.Recorder
+	recTrack *obs.Track
 
 	// Stats accumulates decoder/WB-encoder events.
 	Stats RemoteStats
@@ -74,6 +80,10 @@ func NewRemoteEnd(cfg Config, remote *cache.Cache) (*RemoteEnd, error) {
 	return r, nil
 }
 
+// SetRecorder attaches (or, with nil, detaches) the flight recorder.
+// Fill decodes and write-back encodes on this end land on track t.
+func (r *RemoteEnd) SetRecorder(rec *obs.Recorder, t *obs.Track) { r.rec, r.recTrack = rec, t }
+
 // HashTable exposes the remote hash table for tests and sizing.
 func (r *RemoteEnd) HashTable() *HashTable { return r.ht }
 
@@ -98,6 +108,12 @@ func (r *RemoteEnd) RemoteLIDBits() int {
 func (r *RemoteEnd) DecodeFill(p Payload) ([]byte, error) {
 	r.Stats.FillDecodes++
 	r.mx.fillDecodes.Inc(r.shard)
+	if r.rec != nil {
+		start := r.rec.Clock()
+		defer func() {
+			r.rec.Span(r.recTrack, obs.EvDecode, p.Bits(r.RemoteLIDBits()), r.rec.Clock()-start)
+		}()
+	}
 	if !p.Compressed {
 		if len(p.Raw) != r.lineSize {
 			return nil, fmt.Errorf("core: raw fill of %dB, want %dB: %w", len(p.Raw), r.lineSize, ErrTruncatedPayload)
@@ -193,6 +209,10 @@ func (r *RemoteEnd) OnUpgrade(id cache.LineID, data []byte) {
 func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 	r.Stats.Writebacks++
 	r.Stats.WBSourceBits += uint64(len(data) * 8)
+	var wbStart int64
+	if r.rec != nil {
+		wbStart = r.rec.Clock()
+	}
 	scr := &r.scr
 
 	standalone := compress.CompressWith(r.engine, &scr.standalone, data, nil)
@@ -223,6 +243,9 @@ func (r *RemoteEnd) EncodeWriteback(data []byte) Payload {
 				best, bestBits = p, b
 			}
 		}
+	}
+	if r.rec != nil {
+		r.rec.Span(r.recTrack, obs.EvWBEncode, bestBits, r.rec.Clock()-wbStart)
 	}
 	r.Stats.WBPayloadBits += uint64(bestBits)
 	r.mx.writebacks.Inc(r.shard)

@@ -176,6 +176,11 @@ func Fig13(opt Options) (*Result, error) {
 		if opt.Quick {
 			cfg.LLCBytes = 128 << 10
 		}
+		if opt.Flight != nil {
+			// Multichip runs are not memoized; duplicate keys get
+			// throwaway recorders, keeping flight dumps deterministic.
+			cfg.Recorder = opt.Flight.Recorder(multiChipFlightKey(cfg))
+		}
 		results[i], errs[i] = sim.RunMultiChip(cfg)
 	})
 	if err := firstErr(errs); err != nil {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"cable/internal/fault"
+	"cable/internal/obs"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -41,6 +42,16 @@ type Options struct {
 	// is folded into the cell-memo digests, so faulted and clean cells
 	// never alias.
 	Fault fault.Config
+
+	// Flight, when non-nil, attaches a virtual-time flight recorder to
+	// every simulation cell the drivers run (the `-windows`/`-timeline`
+	// CLI flags). Each distinct cell digest registers exactly one
+	// recorder — under the cell memo only the single-flight compute
+	// owner records; with the memo off, repeated identical cells record
+	// identical content and only the first registration is kept — so
+	// flight dumps are byte-identical at any Parallelism, memo on or
+	// off. Observation-only: simulated results are unaffected.
+	Flight *obs.Flight
 }
 
 // Result is one regenerated table/figure.

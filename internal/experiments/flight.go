@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cable/internal/sim"
+)
+
+// This file names flight-recorder cells. Every simulation a driver
+// runs with Options.Flight set registers one recorder in the Flight
+// keyed by a human-readable prefix (simulator kind, benchmark, scheme)
+// plus a truncated config digest. The digest part is what makes keys
+// collision-free: two sweeps over the same benchmark with different
+// cache sizes are different cells, and aliasing them would make the
+// registered recorder's content depend on scheduling order. 48 digest
+// bits over the few hundred distinct cells of a full report is far
+// past birthday range.
+
+func memLinkFlightKey(cfg sim.MemLinkConfig) string {
+	d := cfg.Digest()
+	return fmt.Sprintf("memlink/%s/%x", strings.Join(cfg.Benchmarks, "+"), d[:6])
+}
+
+func timingFlightKey(cfg sim.TimingConfig) string {
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = "none"
+	}
+	d := cfg.Digest()
+	return fmt.Sprintf("timing/%s/%s/%x", scheme, cfg.Benchmark, d[:6])
+}
+
+func multiChipFlightKey(cfg sim.MultiChipConfig) string {
+	d := cfg.Digest()
+	return fmt.Sprintf("multichip/%s/%x", cfg.Benchmark, d[:6])
+}

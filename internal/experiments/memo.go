@@ -33,9 +33,12 @@ import (
 //     distinct digests and hits the remainder, independent of
 //     scheduling, so the memo's own counters are deterministic too.
 //
-// Cells that attach a Tracer bypass the memo (the trace is a fresh
-// side effect per run), as does Options.DisableCellMemo (the
-// `-nomemo` CLI flag).
+// Cells that attach a Tracer or a pre-built flight Recorder bypass the
+// memo (the trace is a fresh side effect per run), as does
+// Options.DisableCellMemo (the `-nomemo` CLI flag). Options.Flight
+// composes with the memo instead: the single-flight compute owner
+// attaches the cell's registered recorder, so the flight dump matches
+// a memo-disabled run byte for byte (see flight.go).
 
 // memoMaxEntries caps the memo's footprint (applied per stripe as
 // memoMaxEntries/memoStripes). Reaching a stripe's cap clears that
@@ -225,20 +228,35 @@ func runMemLink(opt Options, cfg sim.MemLinkConfig) (*sim.MemLinkResult, error) 
 	cfg.Chip.Fault = opt.Fault
 	mx := memoMetrics()
 	shard := obs.NextShard()
-	if opt.DisableCellMemo || cfg.Trace != nil || cfg.Metrics != nil {
+	if opt.DisableCellMemo || cfg.Trace != nil || cfg.Metrics != nil || cfg.Recorder != nil {
 		mx.bypass.Inc(shard)
+		if opt.Flight != nil && cfg.Recorder == nil {
+			// Memo-off flight recording: every run of a cell asks for
+			// the cell's recorder; duplicates get throwaways, so the
+			// registered content matches a memo-on run byte for byte.
+			cfg.Recorder = opt.Flight.Recorder(memLinkFlightKey(cfg))
+		}
 		return sim.RunMemoryLink(cfg)
 	}
 	e, owner := memo.lookup(cfg.Digest())
 	if !owner {
 		<-e.ready
 		e.finish(mx, true, shard)
+		if opt.Flight != nil {
+			opt.Flight.MemoEvent(true)
+		}
 		return copyMemLinkResult(e.mem), e.err
 	}
 	mx.misses.Inc(shard)
 	reg := obs.NewRegistry()
 	scoped := cfg
 	scoped.Metrics = reg
+	if opt.Flight != nil {
+		// The single-flight compute owner is the one run of this cell,
+		// so it feeds the cell's registered recorder.
+		scoped.Recorder = opt.Flight.Recorder(memLinkFlightKey(cfg))
+		opt.Flight.MemoEvent(false)
+	}
 	start := time.Now()
 	res, err := sim.RunMemoryLink(scoped)
 	mx.computeMS.Observe(uint64(time.Since(start).Milliseconds()))
@@ -260,14 +278,20 @@ func runTiming(opt Options, cfg sim.TimingConfig) (*sim.TimingResult, error) {
 	cfg.Fault = opt.Fault
 	mx := memoMetrics()
 	shard := obs.NextShard()
-	if opt.DisableCellMemo || cfg.Metrics != nil {
+	if opt.DisableCellMemo || cfg.Metrics != nil || cfg.Recorder != nil {
 		mx.bypass.Inc(shard)
+		if opt.Flight != nil && cfg.Recorder == nil {
+			cfg.Recorder = opt.Flight.Recorder(timingFlightKey(cfg))
+		}
 		return sim.RunTiming(cfg)
 	}
 	e, owner := memo.lookup(cfg.Digest())
 	if !owner {
 		<-e.ready
 		e.finish(mx, true, shard)
+		if opt.Flight != nil {
+			opt.Flight.MemoEvent(true)
+		}
 		if e.tim == nil {
 			return nil, e.err
 		}
@@ -278,6 +302,10 @@ func runTiming(opt Options, cfg sim.TimingConfig) (*sim.TimingResult, error) {
 	reg := obs.NewRegistry()
 	scoped := cfg
 	scoped.Metrics = reg
+	if opt.Flight != nil {
+		scoped.Recorder = opt.Flight.Recorder(timingFlightKey(cfg))
+		opt.Flight.MemoEvent(false)
+	}
 	start := time.Now()
 	res, err := sim.RunTiming(scoped)
 	mx.computeMS.Observe(uint64(time.Since(start).Milliseconds()))

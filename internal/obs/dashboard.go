@@ -1,0 +1,128 @@
+package obs
+
+// dashboardHTML is the self-contained /health link-health dashboard:
+// no external assets, inline CSS/JS, inline-SVG sparklines. It polls
+// /windows (flight window ring) and /metrics (registry + runtime
+// gauges) every 2 s and degrades gracefully when the flight recorder
+// is off (/windows answers 404) — the runtime-health tiles still work.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CABLE link health</title>
+<style>
+  body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2em; background: #14171c; color: #dde3ea; }
+  h1 { font-size: 1.25em; margin: 0 0 .2em; }
+  h2 { font-size: 1em; margin: 1.2em 0 .35em; color: #9fb4cc; }
+  .muted { color: #788599; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .6em; }
+  .tile { background: #1d2229; border: 1px solid #2c333d; border-radius: 6px; padding: .5em .8em; min-width: 9em; }
+  .tile .v { font-size: 1.25em; font-weight: 600; }
+  .tile .k { color: #788599; font-size: .85em; }
+  table.cells { border-collapse: collapse; width: 100%; }
+  table.cells td, table.cells th { padding: .3em .6em; border-bottom: 1px solid #2c333d; text-align: left; vertical-align: middle; }
+  table.cells th { color: #9fb4cc; font-weight: 600; }
+  svg.spark { display: block; }
+  .bad { color: #ff8484; }
+  .warn { color: #ffc966; }
+  .ok { color: #7fd98b; }
+  code { color: #9fb4cc; }
+</style>
+</head>
+<body>
+<h1>CABLE link health</h1>
+<div class="muted" id="status">connecting…</div>
+<h2>Process</h2>
+<div class="tiles" id="runtime"></div>
+<h2>Links <span class="muted">(per window: bits/line, fault + fallback rates)</span></h2>
+<div id="flight" class="muted">waiting for /windows…</div>
+<script>
+"use strict";
+function fmt(n) {
+  if (n == null) return "–";
+  if (Math.abs(n) >= 1e9) return (n/1e9).toFixed(2)+"G";
+  if (Math.abs(n) >= 1e6) return (n/1e6).toFixed(2)+"M";
+  if (Math.abs(n) >= 1e3) return (n/1e3).toFixed(1)+"k";
+  return (typeof n === "number" && !Number.isInteger(n)) ? n.toFixed(2) : String(n);
+}
+function spark(values, w, h, color) {
+  if (!values.length) return "<span class=muted>no data</span>";
+  var max = Math.max.apply(null, values), min = Math.min.apply(null, values);
+  if (max === min) { max = min + 1; }
+  var pts = values.map(function (v, i) {
+    var x = values.length === 1 ? w/2 : i * (w-2) / (values.length-1) + 1;
+    var y = h-2 - (v-min) * (h-4) / (max-min);
+    return x.toFixed(1) + "," + y.toFixed(1);
+  }).join(" ");
+  return '<svg class=spark width='+w+' height='+h+' viewBox="0 0 '+w+' '+h+'">' +
+    '<polyline fill=none stroke="'+color+'" stroke-width=1.5 points="'+pts+'"/></svg>';
+}
+function tile(k, v, cls) {
+  return '<div class=tile><div class="v '+(cls||"")+'">'+v+'</div><div class=k>'+k+'</div></div>';
+}
+function renderRuntime(m) {
+  var g = m.gauges || {};
+  var html = "";
+  html += tile("goroutines", fmt(g["go.goroutines"]));
+  html += tile("heap objects", fmt(g["go.heap_objects_bytes"]) + "B");
+  html += tile("runtime total", fmt(g["go.total_bytes"]) + "B");
+  html += tile("GC cycles", fmt(g["go.gc_cycles"]));
+  html += tile("GC pause p50", fmt(g["go.gc_pause_p50_ns"]) + "ns");
+  html += tile("GC pause max", fmt(g["go.gc_pause_max_ns"]) + "ns");
+  html += tile("sched lat p50", fmt(g["go.sched_latency_p50_ns"]) + "ns");
+  html += tile("sched lat p99", fmt(g["go.sched_latency_p99_ns"]) + "ns");
+  document.getElementById("runtime").innerHTML = html;
+}
+function renderFlight(d) {
+  var el = document.getElementById("flight");
+  if (!d || !d.cells || !d.cells.length) {
+    el.innerHTML = "<span class=muted>flight recorder attached, no windows sealed yet</span>";
+    return;
+  }
+  var html = '<table class=cells><tr><th>cell / track</th><th>vt</th>' +
+    '<th>bits/line</th><th>trend</th><th>fault rate</th><th>fallback rate</th><th>faults</th></tr>';
+  d.cells.forEach(function (cell) {
+    (cell.tracks || []).forEach(function (tr) {
+      var ws = tr.windows || [];
+      var tail = ws.slice(-60);
+      var bpl = tail.map(function (w) { return w.bits_per_line || 0; });
+      var fr  = tail.map(function (w) { return w.fault_rate || 0; });
+      var fbr = tail.map(function (w) { return w.fallback_rate || 0; });
+      var last = ws[ws.length-1] || {};
+      var faults = ws.reduce(function (a, w) { return a + (w.faults||0); }, 0);
+      var fcls = faults ? (last.fault_rate > 0.01 ? "bad" : "warn") : "ok";
+      html += "<tr><td><code>" + cell.cell + "</code> · " + tr.name +
+        (tr.dropped_windows ? ' <span class=warn>(' + tr.dropped_windows + ' dropped)</span>' : '') +
+        "</td><td>" + fmt(cell.now) + "</td>" +
+        "<td>" + fmt(last.bits_per_line) + "</td>" +
+        "<td>" + spark(bpl, 160, 28, "#6fb3ff") + "</td>" +
+        "<td>" + spark(fr, 90, 28, "#ff8484") + "</td>" +
+        "<td>" + spark(fbr, 90, 28, "#ffc966") + "</td>" +
+        '<td class="' + fcls + '">' + fmt(faults) + "</td></tr>";
+    });
+  });
+  html += "</table>";
+  el.innerHTML = html;
+}
+function refresh() {
+  fetch("/metrics").then(function (r) { return r.json(); }).then(function (m) {
+    renderRuntime(m);
+    document.getElementById("status").textContent =
+      "live · " + new Date().toLocaleTimeString();
+  }).catch(function (e) {
+    document.getElementById("status").textContent = "metrics fetch failed: " + e;
+  });
+  fetch("/windows").then(function (r) {
+    if (!r.ok) { throw new Error(String(r.status)); }
+    return r.json();
+  }).then(renderFlight).catch(function () {
+    document.getElementById("flight").innerHTML =
+      "<span class=muted>flight recorder off — run with <code>-windows</code>/<code>-timeline</code> to enable</span>";
+  });
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

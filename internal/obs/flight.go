@@ -1,0 +1,683 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the virtual-time flight recorder: windowed time-series
+// deltas and a span/event timeline for every link end a simulation
+// drives, stamped with the simulation's own access tick instead of wall
+// clock. Virtual time is a pure function of the workload, so recorder
+// dumps (with volatile fields excluded) are byte-identical at any
+// -parallel setting, with the cell memo on or off, and at any
+// GOMAXPROCS — the same contract the metrics registry keeps.
+//
+// Layering:
+//
+//   - Recorder: one per simulation. Owns the virtual clock (advanced by
+//     the sim's access loop via Tick), a set of per-link Tracks whose
+//     counters seal into bounded window rings at window boundaries, and
+//     one bounded event ring for the timeline.
+//   - Track: one per link end ("cable" for the single-link simulators,
+//     "link1..linkN" for the multi-chip coherence study).
+//   - Flight: a keyed collection of Recorders for multi-cell experiment
+//     runs (the -windows/-timeline CLI flags). Each distinct cell
+//     digest registers exactly one recorder regardless of scheduling,
+//     which is what makes whole-run dumps deterministic.
+//
+// The disabled path follows the Tracer discipline: a nil *Recorder
+// costs one pointer check and zero allocations on the encode path.
+
+// Default flight-recorder bounds. Window is in virtual-time ticks (one
+// tick per simulated access); the rings bound memory for arbitrarily
+// long runs by dropping oldest entries (drop counts are reported, so
+// truncation is visible, and deterministic — drops depend only on event
+// counts).
+const (
+	DefaultFlightWindow = 2048
+	defaultMaxWindows   = 1024
+	defaultMaxEvents    = 8192
+	defaultMaxMemoEv    = 4096
+)
+
+// FlightConfig sizes a Recorder (and every recorder a Flight creates).
+type FlightConfig struct {
+	// Window is the virtual-time window length in ticks (simulated
+	// accesses). 0 means DefaultFlightWindow.
+	Window int
+	// MaxWindows bounds each track's sealed-window ring; oldest windows
+	// are dropped (and counted) beyond it. 0 means 1024.
+	MaxWindows int
+	// MaxEvents bounds the recorder's timeline ring. 0 means 8192.
+	MaxEvents int
+	// WallClock additionally stamps spans with wall-clock durations.
+	// Durations are volatile: they never appear in deterministic dumps,
+	// only in live (/timeline) views and includeVolatile exports.
+	WallClock bool
+}
+
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultFlightWindow
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = defaultMaxWindows
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = defaultMaxEvents
+	}
+	return c
+}
+
+// EventKind classifies one timeline entry.
+type EventKind uint8
+
+// Timeline event kinds. Encode/decode/writeback kinds are spans (they
+// have a duration when wall-clock stamping is on); fault and degrade
+// are instants.
+const (
+	EvEncode   EventKind = iota // home-end fill encode
+	EvDecode                    // remote-end fill decode
+	EvWBEncode                  // remote-end write-back encode
+	EvWBDecode                  // home-end write-back decode
+	EvFault                     // injector corrupted a wire image
+	EvDegrade                   // decode error degraded to a raw resend
+	numEventKinds
+)
+
+// String names the kind for exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvEncode:
+		return "encode"
+	case EvDecode:
+		return "decode"
+	case EvWBEncode:
+		return "wb-encode"
+	case EvWBDecode:
+		return "wb-decode"
+	case EvFault:
+		return "fault"
+	case EvDegrade:
+		return "degrade"
+	}
+	return "unknown"
+}
+
+// span reports whether the kind is a duration-carrying span (vs an
+// instant).
+func (k EventKind) span() bool { return k <= EvWBDecode }
+
+// Window accumulates one virtual-time window's deltas for one track.
+// All fields are pure functions of the simulated transfer stream.
+type Window struct {
+	// Start/End bound the window in virtual time: (Start, End].
+	Start, End uint64
+	// Transfers counts line transfers (fills + write-backs); SourceBits
+	// and WireBits are their pre/post-compression totals (wire includes
+	// raw-fallback resends); Toggles counts wire bit transitions.
+	Transfers  uint64
+	SourceBits uint64
+	WireBits   uint64
+	Toggles    uint64
+	// Encodes/PayloadBits/Skips/Classes describe the home-end fill
+	// encodes in the window (Classes indexed by EncodeClass).
+	Encodes     uint64
+	PayloadBits uint64
+	Skips       uint64
+	Classes     [NumClasses]uint64
+	// Decodes counts fill + write-back decodes; Writebacks counts
+	// write-back encodes.
+	Decodes    uint64
+	Writebacks uint64
+	// Faults/DecodeErrors/RawFallbacks account the degradation pipeline.
+	Faults       uint64
+	DecodeErrors uint64
+	RawFallbacks uint64
+}
+
+// active reports whether anything landed in the window.
+func (w Window) active() bool {
+	z := w
+	z.Start, z.End = 0, 0
+	return z != Window{}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	VT    uint64
+	Kind  EventKind
+	Track int32
+	Class EncodeClass
+	Skip  bool
+	Bits  uint32
+	// DurNs is the volatile wall-clock duration (0 when wall-clock
+	// stamping is off, and excluded from deterministic exports).
+	DurNs int64
+}
+
+// Track is one link end's window accumulator inside a Recorder. Feed it
+// only through the owning Recorder's methods (which take the lock).
+type Track struct {
+	name    string
+	index   int32
+	cur     Window
+	ring    []Window
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// Name returns the track's name.
+func (t *Track) Name() string { return t.name }
+
+// Recorder is one simulation's flight recorder. The simulation thread
+// writes; live HTTP readers snapshot concurrently, so every operation
+// takes the recorder mutex (uncontended in the common one-writer case,
+// same discipline as Tracer).
+type Recorder struct {
+	mu        sync.Mutex
+	cfg       FlightConfig
+	now       uint64
+	tracks    []*Track
+	byName    map[string]*Track
+	events    []Event
+	evNext    int
+	evWrapped bool
+	evDropped uint64
+}
+
+// NewRecorder builds a recorder with the given bounds (zero fields take
+// defaults).
+func NewRecorder(cfg FlightConfig) *Recorder {
+	return &Recorder{cfg: cfg.withDefaults(), byName: map[string]*Track{}}
+}
+
+// Config returns the recorder's effective (defaulted) configuration.
+func (r *Recorder) Config() FlightConfig { return r.cfg }
+
+// Track returns (creating on first use) the named per-link track.
+// Simulators create tracks in deterministic construction order.
+func (r *Recorder) Track(name string) *Track {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	t := &Track{name: name, index: int32(len(r.tracks))}
+	r.tracks = append(r.tracks, t)
+	r.byName[name] = t
+	return t
+}
+
+// Tick advances virtual time by one simulated access. Crossing a window
+// boundary seals every track's open window into its ring.
+func (r *Recorder) Tick() {
+	r.mu.Lock()
+	r.now++
+	if r.now%uint64(r.cfg.Window) == 0 {
+		for _, t := range r.tracks {
+			r.sealLocked(t)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Now returns the current virtual time (ticks so far).
+func (r *Recorder) Now() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now
+}
+
+// Clock returns a wall-clock timestamp in nanoseconds when wall-clock
+// stamping is enabled, else 0. Callers bracket a span with two Clock
+// calls and pass the difference as the span's duration; with stamping
+// off both reads are 0 and the duration stays 0.
+func (r *Recorder) Clock() int64 {
+	if !r.cfg.WallClock {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+func (r *Recorder) sealLocked(t *Track) {
+	t.cur.End = r.now
+	if len(t.ring) < r.cfg.MaxWindows {
+		t.ring = append(t.ring, t.cur)
+	} else {
+		t.ring[t.next] = t.cur
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+		}
+		t.wrapped = true
+		t.dropped++
+	}
+	t.cur = Window{Start: r.now}
+}
+
+func (r *Recorder) eventLocked(e Event) {
+	e.VT = r.now
+	if len(r.events) < r.cfg.MaxEvents {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.evNext] = e
+	r.evNext++
+	if r.evNext == len(r.events) {
+		r.evNext = 0
+	}
+	r.evWrapped = true
+	r.evDropped++
+}
+
+// Transfer records one line transfer on a track: pre-compression source
+// bits, post-quantization wire bits (raw-fallback resends included) and
+// the wire-toggle delta.
+func (r *Recorder) Transfer(t *Track, sourceBits, wireBits int, toggles uint64) {
+	r.mu.Lock()
+	t.cur.Transfers++
+	t.cur.SourceBits += uint64(sourceBits)
+	t.cur.WireBits += uint64(wireBits)
+	t.cur.Toggles += toggles
+	r.mu.Unlock()
+}
+
+// Encode records one home-end fill encode: the winning class, the
+// pre-quantization payload bits, whether the signature search was
+// threshold-skipped, and the optional wall-clock duration.
+func (r *Recorder) Encode(t *Track, class EncodeClass, payloadBits int, skip bool, durNs int64) {
+	r.mu.Lock()
+	t.cur.Encodes++
+	t.cur.PayloadBits += uint64(payloadBits)
+	if skip {
+		t.cur.Skips++
+	}
+	if class < NumClasses {
+		t.cur.Classes[class]++
+	}
+	r.eventLocked(Event{Kind: EvEncode, Track: t.index, Class: class, Skip: skip, Bits: uint32(payloadBits), DurNs: durNs})
+	r.mu.Unlock()
+}
+
+// Span records a decode or write-back span (EvDecode, EvWBEncode,
+// EvWBDecode) with the payload bits it carried and the optional
+// wall-clock duration.
+func (r *Recorder) Span(t *Track, kind EventKind, bits int, durNs int64) {
+	r.mu.Lock()
+	switch kind {
+	case EvDecode, EvWBDecode:
+		t.cur.Decodes++
+	case EvWBEncode:
+		t.cur.Writebacks++
+	}
+	r.eventLocked(Event{Kind: kind, Track: t.index, Bits: uint32(bits), DurNs: durNs})
+	r.mu.Unlock()
+}
+
+// Fault records an injector-corrupted wire image on a track.
+func (r *Recorder) Fault(t *Track) {
+	r.mu.Lock()
+	t.cur.Faults++
+	r.eventLocked(Event{Kind: EvFault, Track: t.index})
+	r.mu.Unlock()
+}
+
+// Degrade records a decode error recovered by a raw resend of
+// resendBits wire bits.
+func (r *Recorder) Degrade(t *Track, resendBits int) {
+	r.mu.Lock()
+	t.cur.DecodeErrors++
+	t.cur.RawFallbacks++
+	r.eventLocked(Event{Kind: EvDegrade, Track: t.index, Bits: uint32(resendBits)})
+	r.mu.Unlock()
+}
+
+// WindowDump is one exported window: the raw deltas plus derived rates
+// (all pure integer arithmetic over deterministic counters, so float
+// formatting is stable).
+type WindowDump struct {
+	Start        uint64 `json:"start"`
+	End          uint64 `json:"end"`
+	Transfers    uint64 `json:"transfers"`
+	SourceBits   uint64 `json:"source_bits"`
+	WireBits     uint64 `json:"wire_bits"`
+	Toggles      uint64 `json:"toggles"`
+	Encodes      uint64 `json:"encodes"`
+	PayloadBits  uint64 `json:"payload_bits"`
+	Skips        uint64 `json:"skips"`
+	Raw          uint64 `json:"raw"`
+	Standalone   uint64 `json:"standalone"`
+	Diff1        uint64 `json:"diff1"`
+	Diff2        uint64 `json:"diff2"`
+	Diff3        uint64 `json:"diff3"`
+	Decodes      uint64 `json:"decodes"`
+	Writebacks   uint64 `json:"writebacks"`
+	Faults       uint64 `json:"faults,omitempty"`
+	DecodeErrors uint64 `json:"decode_errors,omitempty"`
+	RawFallbacks uint64 `json:"raw_fallbacks,omitempty"`
+	// Derived per-window rates: wire bits per transferred line, ratio of
+	// threshold skips to encodes, faults and raw fallbacks per transfer,
+	// and toggles per wire bit.
+	BitsPerLine  float64 `json:"bits_per_line"`
+	SkipRate     float64 `json:"skip_rate"`
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	FallbackRate float64 `json:"fallback_rate,omitempty"`
+	ToggleRate   float64 `json:"toggle_rate"`
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func dumpWindow(w Window) WindowDump {
+	return WindowDump{
+		Start: w.Start, End: w.End,
+		Transfers: w.Transfers, SourceBits: w.SourceBits, WireBits: w.WireBits, Toggles: w.Toggles,
+		Encodes: w.Encodes, PayloadBits: w.PayloadBits, Skips: w.Skips,
+		Raw: w.Classes[ClassRaw], Standalone: w.Classes[ClassStandalone],
+		Diff1: w.Classes[ClassDiff1], Diff2: w.Classes[ClassDiff2], Diff3: w.Classes[ClassDiff3],
+		Decodes: w.Decodes, Writebacks: w.Writebacks,
+		Faults: w.Faults, DecodeErrors: w.DecodeErrors, RawFallbacks: w.RawFallbacks,
+		BitsPerLine:  ratio(w.WireBits, w.Transfers),
+		SkipRate:     ratio(w.Skips, w.Encodes),
+		FaultRate:    ratio(w.Faults, w.Transfers),
+		FallbackRate: ratio(w.RawFallbacks, w.Transfers),
+		ToggleRate:   ratio(w.Toggles, w.WireBits),
+	}
+}
+
+// TrackDump is one exported track: sealed windows oldest-first, plus
+// the open partial window when it has activity.
+type TrackDump struct {
+	Name           string       `json:"name"`
+	DroppedWindows uint64       `json:"dropped_windows,omitempty"`
+	Windows        []WindowDump `json:"windows"`
+}
+
+// EventDump is one exported timeline entry.
+type EventDump struct {
+	VT    uint64 `json:"vt"`
+	Kind  string `json:"kind"`
+	Track string `json:"track"`
+	Class string `json:"class,omitempty"`
+	Bits  uint32 `json:"bits,omitempty"`
+	Skip  bool   `json:"skip,omitempty"`
+	DurNs int64  `json:"dur_ns,omitempty"`
+}
+
+// RecorderDump is a recorder's full exported state.
+type RecorderDump struct {
+	Now           uint64      `json:"now"`
+	Tracks        []TrackDump `json:"tracks"`
+	DroppedEvents uint64      `json:"dropped_events,omitempty"`
+	Events        []EventDump `json:"events"`
+}
+
+// Dump snapshots the recorder. With includeVolatile false, wall-clock
+// durations are zeroed out of the timeline, so the dump is a pure
+// function of the simulated workload.
+func (r *Recorder) Dump(includeVolatile bool) RecorderDump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := RecorderDump{Now: r.now, DroppedEvents: r.evDropped}
+	d.Tracks = make([]TrackDump, 0, len(r.tracks))
+	for _, t := range r.tracks {
+		td := TrackDump{Name: t.name, DroppedWindows: t.dropped}
+		var ws []Window
+		if t.wrapped {
+			ws = append(ws, t.ring[t.next:]...)
+			ws = append(ws, t.ring[:t.next]...)
+		} else {
+			ws = t.ring
+		}
+		td.Windows = make([]WindowDump, 0, len(ws)+1)
+		for _, w := range ws {
+			td.Windows = append(td.Windows, dumpWindow(w))
+		}
+		if t.cur.active() {
+			part := t.cur
+			part.End = r.now
+			td.Windows = append(td.Windows, dumpWindow(part))
+		}
+		d.Tracks = append(d.Tracks, td)
+	}
+	var evs []Event
+	if r.evWrapped {
+		evs = append(evs, r.events[r.evNext:]...)
+		evs = append(evs, r.events[:r.evNext]...)
+	} else {
+		evs = r.events
+	}
+	d.Events = make([]EventDump, 0, len(evs))
+	for _, e := range evs {
+		ed := EventDump{VT: e.VT, Kind: e.Kind.String(), Bits: e.Bits, Skip: e.Skip}
+		if int(e.Track) < len(r.tracks) {
+			ed.Track = r.tracks[e.Track].name
+		}
+		if e.Kind == EvEncode {
+			ed.Class = e.Class.String()
+		}
+		if includeVolatile {
+			ed.DurNs = e.DurNs
+		}
+		d.Events = append(d.Events, ed)
+	}
+	return d
+}
+
+// Flight collects one Recorder per distinct simulation cell for a
+// multi-cell experiment run. Recorder(key) registers the first recorder
+// requested for a key and hands duplicate requesters a throwaway: with
+// the cell memo on, only the single-flight compute owner ever asks;
+// with it off, repeated runs of an identical cell record identical
+// content and only the first registration is kept. Either way the
+// collection — and its dumps — depends only on the set of distinct
+// cells, not on scheduling.
+type Flight struct {
+	cfg FlightConfig
+
+	mu   sync.Mutex
+	recs map[string]*Recorder
+
+	memoHits   uint64
+	memoMisses uint64
+	memoEvents []FlightMemoEvent
+	memoDrops  uint64
+}
+
+// FlightMemoEvent is one cell-memo outcome observed during a flight
+// (volatile: arrival order and wall timestamps depend on scheduling).
+type FlightMemoEvent struct {
+	Hit    bool  `json:"hit"`
+	WallNs int64 `json:"wall_ns"`
+}
+
+// NewFlight builds a flight collection; every recorder it creates
+// shares cfg.
+func NewFlight(cfg FlightConfig) *Flight {
+	return &Flight{cfg: cfg.withDefaults(), recs: map[string]*Recorder{}}
+}
+
+// Config returns the flight's effective recorder configuration.
+func (f *Flight) Config() FlightConfig { return f.cfg }
+
+// Recorder returns a recorder for the cell key: the registered one on
+// first request, a feed-and-forget duplicate afterwards (identical
+// cells record identical content, so dropping repeats loses nothing
+// and keeps dumps scheduling-independent).
+func (f *Flight) Recorder(key string) *Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.recs[key]; ok {
+		return NewRecorder(f.cfg)
+	}
+	r := NewRecorder(f.cfg)
+	f.recs[key] = r
+	return r
+}
+
+// Lookup returns the registered recorder for a key (nil if none).
+func (f *Flight) Lookup(key string) *Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recs[key]
+}
+
+// Keys lists registered cell keys, sorted.
+func (f *Flight) Keys() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.recs))
+	for k := range f.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MemoEvent records one cell-memo outcome (hit or miss) for the
+// timeline's volatile view.
+func (f *Flight) MemoEvent(hit bool) {
+	f.mu.Lock()
+	if hit {
+		f.memoHits++
+	} else {
+		f.memoMisses++
+	}
+	if len(f.memoEvents) < defaultMaxMemoEv {
+		f.memoEvents = append(f.memoEvents, FlightMemoEvent{Hit: hit, WallNs: time.Now().UnixNano()})
+	} else {
+		f.memoDrops++
+	}
+	f.mu.Unlock()
+}
+
+// FlightCellWindows is one cell's windowed time series.
+type FlightCellWindows struct {
+	Cell   string      `json:"cell"`
+	Now    uint64      `json:"now"`
+	Tracks []TrackDump `json:"tracks"`
+}
+
+// FlightWindowsDump is the -windows file format.
+type FlightWindowsDump struct {
+	Window int                 `json:"window"`
+	Cells  []FlightCellWindows `json:"cells"`
+}
+
+// FlightCellTimeline is one cell's event timeline.
+type FlightCellTimeline struct {
+	Cell          string      `json:"cell"`
+	Now           uint64      `json:"now"`
+	DroppedEvents uint64      `json:"dropped_events,omitempty"`
+	Events        []EventDump `json:"events"`
+}
+
+// FlightTimelineDump is the -timeline file format (the tools/traceexport
+// input).
+type FlightTimelineDump struct {
+	Window int                  `json:"window"`
+	Cells  []FlightCellTimeline `json:"cells"`
+	// MemoEvents appears only in volatile exports.
+	MemoEvents []FlightMemoEvent `json:"memo_events,omitempty"`
+}
+
+// snapshot dumps every registered recorder in key order.
+func (f *Flight) snapshot(includeVolatile bool) (keys []string, dumps []RecorderDump) {
+	keys = f.Keys()
+	dumps = make([]RecorderDump, len(keys))
+	for i, k := range keys {
+		dumps[i] = f.Lookup(k).Dump(includeVolatile)
+	}
+	return keys, dumps
+}
+
+// WindowsDump exports every cell's windowed time series, cells sorted
+// by key.
+func (f *Flight) WindowsDump(includeVolatile bool) FlightWindowsDump {
+	keys, dumps := f.snapshot(includeVolatile)
+	out := FlightWindowsDump{Window: f.cfg.Window, Cells: make([]FlightCellWindows, len(keys))}
+	for i, k := range keys {
+		out.Cells[i] = FlightCellWindows{Cell: k, Now: dumps[i].Now, Tracks: dumps[i].Tracks}
+	}
+	return out
+}
+
+// TimelineDump exports every cell's event timeline, cells sorted by
+// key. Volatile exports carry wall-clock durations and the cell-memo
+// hit/miss events; deterministic exports exclude both.
+func (f *Flight) TimelineDump(includeVolatile bool) FlightTimelineDump {
+	keys, dumps := f.snapshot(includeVolatile)
+	out := FlightTimelineDump{Window: f.cfg.Window, Cells: make([]FlightCellTimeline, len(keys))}
+	for i, k := range keys {
+		out.Cells[i] = FlightCellTimeline{
+			Cell: k, Now: dumps[i].Now,
+			DroppedEvents: dumps[i].DroppedEvents, Events: dumps[i].Events,
+		}
+	}
+	if includeVolatile {
+		f.mu.Lock()
+		out.MemoEvents = append([]FlightMemoEvent(nil), f.memoEvents...)
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// WriteWindowsJSON writes the windowed time series as indented JSON.
+// Struct field order is fixed and cells are key-sorted, so the
+// deterministic form is byte-stable.
+func (f *Flight) WriteWindowsJSON(w io.Writer, includeVolatile bool) error {
+	return writeJSON(w, f.WindowsDump(includeVolatile), true)
+}
+
+// WriteTimelineJSON writes the event timeline as compact JSON (timeline
+// files carry thousands of events; the converter re-shapes them).
+func (f *Flight) WriteTimelineJSON(w io.Writer, includeVolatile bool) error {
+	return writeJSON(w, f.TimelineDump(includeVolatile), false)
+}
+
+// WriteWindowsFile dumps the windows JSON to path (the -windows flag).
+func (f *Flight) WriteWindowsFile(path string, includeVolatile bool) error {
+	return writeJSONFile(path, func(w io.Writer) error { return f.WriteWindowsJSON(w, includeVolatile) })
+}
+
+// WriteTimelineFile dumps the timeline JSON to path (the -timeline
+// flag).
+func (f *Flight) WriteTimelineFile(path string, includeVolatile bool) error {
+	return writeJSONFile(path, func(w io.Writer) error { return f.WriteTimelineJSON(w, includeVolatile) })
+}
+
+func writeJSON(w io.Writer, v interface{}, indent bool) error {
+	var b []byte
+	var err error
+	if indent {
+		b, err = json.MarshalIndent(v, "", "  ")
+	} else {
+		b, err = json.Marshal(v)
+	}
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) error {
+	var sb strings.Builder
+	if err := write(&sb); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

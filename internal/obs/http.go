@@ -6,23 +6,59 @@ import (
 )
 
 // Handler serves live metrics and profiling for long simulator runs
-// (the cablesim -http flag):
+// (the cablesim -http flag). Equivalent to HandlerWith(r, nil): the
+// flight endpoints answer 404 until a Flight is attached.
+func Handler(r *Registry) http.Handler { return HandlerWith(r, nil) }
+
+// HandlerWith serves live metrics, profiling, and — when f is non-nil
+// — the flight recorder's windowed time series, event timeline, and a
+// self-contained link-health dashboard:
 //
-//	/metrics      registry snapshot as JSON (volatile metrics included)
+//	/metrics      registry snapshot as JSON (volatile metrics included,
+//	              Go runtime health gauges refreshed on scrape)
 //	/metrics.txt  flat sorted "name value" text dump
+//	/windows      flight windowed time series as JSON (volatile form)
+//	/timeline     flight event timeline as JSON (volatile form)
+//	/health       HTML dashboard (sparklines over /windows + /metrics)
 //	/debug/pprof  the standard net/http/pprof profile index
 //
-// The handler reads through the same atomics the hot paths update, so
-// hitting it mid-run is safe and does not pause the simulation.
-func Handler(r *Registry) http.Handler {
+// The handler reads through the same atomics and mutexes the hot paths
+// update, so hitting it mid-run is safe and does not pause the
+// simulation. Live views deliberately include volatile fields
+// (wall-clock durations, memo events, runtime gauges); the
+// deterministic dump contract applies to the -metrics/-windows/
+// -timeline files, not to live scrapes.
+func HandlerWith(r *Registry, f *Flight) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		UpdateRuntimeGauges(r)
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w, true)
 	})
 	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, req *http.Request) {
+		UpdateRuntimeGauges(r)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.WriteText(w, true)
+	})
+	mux.HandleFunc("/windows", func(w http.ResponseWriter, req *http.Request) {
+		if f == nil {
+			http.Error(w, "flight recorder not enabled (run with -windows/-timeline/-http flight flags)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = f.WriteWindowsJSON(w, true)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, req *http.Request) {
+		if f == nil {
+			http.Error(w, "flight recorder not enabled (run with -windows/-timeline/-http flight flags)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = f.WriteTimelineJSON(w, true)
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -35,7 +71,7 @@ func Handler(r *Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("cable metrics endpoints:\n  /metrics\n  /metrics.txt\n  /debug/pprof/\n"))
+		_, _ = w.Write([]byte("cable metrics endpoints:\n  /metrics\n  /metrics.txt\n  /windows\n  /timeline\n  /health\n  /debug/pprof/\n"))
 	})
 	return mux
 }

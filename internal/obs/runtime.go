@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rm "runtime/metrics"
+)
+
+// This file surfaces Go runtime health — GC pauses, heap footprint,
+// goroutine count, scheduler latency — as volatile gauges refreshed on
+// each /metrics scrape. They describe the process hosting the
+// simulation, not the simulated machine, so they are volatile by
+// definition: excluded from deterministic dumps, visible live.
+
+// runtimeSamples is the fixed runtime/metrics sample set, prepared once
+// (names are validated against the runtime's registry on first use;
+// unknown names read as KindBad and are skipped, keeping this forward-
+// and backward-compatible across toolchains).
+var runtimeSamples = []rm.Sample{
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/memory/classes/total:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/gc/pauses:seconds"},
+	{Name: "/sched/latencies:seconds"},
+}
+
+// UpdateRuntimeGauges refreshes the go.* volatile gauges in r from
+// runtime/metrics. Handler calls it on every /metrics scrape; tests
+// and dashboards may call it directly. Durations are reported in
+// nanoseconds, sizes in bytes.
+func UpdateRuntimeGauges(r *Registry) {
+	samples := make([]rm.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	rm.Read(samples)
+
+	r.VolatileGauge("go.goroutines").Set(int64(runtime.NumGoroutine()))
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.VolatileGauge("go.heap_objects_bytes").Set(int64(s.Value.Uint64()))
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.VolatileGauge("go.total_bytes").Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == rm.KindUint64 {
+				r.VolatileGauge("go.gc_cycles").Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				r.VolatileGauge("go.gc_pause_p50_ns").Set(histPercentileNs(h, 0.50))
+				r.VolatileGauge("go.gc_pause_max_ns").Set(histMaxNs(h))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == rm.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				r.VolatileGauge("go.sched_latency_p50_ns").Set(histPercentileNs(h, 0.50))
+				r.VolatileGauge("go.sched_latency_p99_ns").Set(histPercentileNs(h, 0.99))
+			}
+		}
+	}
+}
+
+// histPercentileNs estimates the p-quantile of a runtime seconds
+// histogram in nanoseconds, using each bucket's upper bound (a
+// conservative over-estimate). ±Inf bounds fall back to the nearest
+// finite bound.
+func histPercentileNs(h *rm.Float64Histogram, p float64) int64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			return boundNs(h, i+1)
+		}
+	}
+	return boundNs(h, len(h.Buckets)-1)
+}
+
+// histMaxNs returns the upper bound of the highest non-empty bucket.
+func histMaxNs(h *rm.Float64Histogram) int64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return boundNs(h, i+1)
+		}
+	}
+	return 0
+}
+
+// boundNs converts bucket boundary i to nanoseconds, stepping inward
+// past ±Inf bounds.
+func boundNs(h *rm.Float64Histogram, i int) int64 {
+	if i < 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	b := h.Buckets[i]
+	for i > 0 && math.IsInf(b, +1) {
+		i--
+		b = h.Buckets[i]
+	}
+	if math.IsInf(b, -1) || math.IsNaN(b) || b < 0 {
+		return 0
+	}
+	return int64(b * 1e9)
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	rm "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeGaugesPopulated: a scrape refresh fills the go.* volatile
+// gauges with sane values and keeps them out of deterministic dumps.
+func TestRuntimeGaugesPopulated(t *testing.T) {
+	r := NewRegistry()
+	runtime.GC() // guarantee at least one GC cycle and pause sample
+	UpdateRuntimeGauges(r)
+
+	if v := r.VolatileGauge("go.goroutines").Value(); v < 1 {
+		t.Fatalf("go.goroutines = %d", v)
+	}
+	if v := r.VolatileGauge("go.heap_objects_bytes").Value(); v <= 0 {
+		t.Fatalf("go.heap_objects_bytes = %d", v)
+	}
+	if v := r.VolatileGauge("go.total_bytes").Value(); v <= 0 {
+		t.Fatalf("go.total_bytes = %d", v)
+	}
+	if v := r.VolatileGauge("go.gc_cycles").Value(); v < 1 {
+		t.Fatalf("go.gc_cycles = %d after runtime.GC()", v)
+	}
+	if v := r.VolatileGauge("go.gc_pause_max_ns").Value(); v < 0 {
+		t.Fatalf("go.gc_pause_max_ns = %d", v)
+	}
+	p50 := r.VolatileGauge("go.gc_pause_p50_ns").Value()
+	max := r.VolatileGauge("go.gc_pause_max_ns").Value()
+	if p50 > max {
+		t.Fatalf("gc pause p50 %d > max %d", p50, max)
+	}
+
+	var det, vol bytes.Buffer
+	if err := r.WriteJSON(&det, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&vol, true); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(det.Bytes(), []byte("go.goroutines")) {
+		t.Fatal("runtime gauges leaked into the deterministic dump")
+	}
+	if !bytes.Contains(vol.Bytes(), []byte("go.goroutines")) {
+		t.Fatal("runtime gauges missing from the volatile dump")
+	}
+}
+
+// TestHistPercentile exercises the histogram helpers on a hand-built
+// histogram with an infinite tail bucket.
+func TestHistPercentile(t *testing.T) {
+	h := &rm.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1e-6, 1e-3, 1e9}, // 3 buckets: [0,1µs) [1µs,1ms) [1ms,...)
+	}
+	if got := histPercentileNs(h, 0.50); got != 1e6 { // lands in the middle bucket, upper bound 1ms
+		t.Fatalf("p50 = %d ns, want 1e6", got)
+	}
+	if got := histMaxNs(h); got != 1e18 {
+		t.Fatalf("max = %d ns, want 1e18", got)
+	}
+	empty := &rm.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if histPercentileNs(empty, 0.5) != 0 || histMaxNs(empty) != 0 {
+		t.Fatal("empty histogram should read 0")
+	}
+	// ±Inf boundary falls back to the nearest finite bound.
+	inf := &rm.Float64Histogram{
+		Counts:  []uint64{1},
+		Buckets: []float64{1e-6, math.Inf(1)},
+	}
+	if got := histMaxNs(inf); got != 1000 {
+		t.Fatalf("inf-bounded max = %d ns, want 1000", got)
+	}
+}
+
+// TestHandlerFlightEndpoints: /windows and /timeline serve the attached
+// flight's volatile dumps, 404 without one; /health serves the
+// dashboard; /metrics carries the runtime gauges.
+func TestHandlerFlightEndpoints(t *testing.T) {
+	r := NewRegistry()
+	f := NewFlight(FlightConfig{Window: 4})
+	rec := f.Recorder("cell-a")
+	tr := rec.Track("cable")
+	rec.Tick()
+	rec.Transfer(tr, 512, 256, 8)
+	f.MemoEvent(false)
+
+	h := HandlerWith(r, f)
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+
+	if w := get("/windows"); w.Code != 200 {
+		t.Fatalf("/windows = %d", w.Code)
+	} else {
+		var d FlightWindowsDump
+		if err := json.Unmarshal(w.Body.Bytes(), &d); err != nil {
+			t.Fatalf("/windows not JSON: %v", err)
+		}
+		if len(d.Cells) != 1 || d.Cells[0].Cell != "cell-a" {
+			t.Fatalf("/windows cells = %+v", d.Cells)
+		}
+	}
+	if w := get("/timeline"); w.Code != 200 {
+		t.Fatalf("/timeline = %d", w.Code)
+	} else if !strings.Contains(w.Body.String(), "memo_events") {
+		t.Fatal("/timeline (live) should carry volatile memo events")
+	}
+	if w := get("/health"); w.Code != 200 || !strings.Contains(w.Body.String(), "<html") {
+		t.Fatalf("/health = %d, body %.60q", w.Code, w.Body.String())
+	}
+	if w := get("/metrics"); !strings.Contains(w.Body.String(), "go.goroutines") {
+		t.Fatal("/metrics missing runtime gauges")
+	}
+
+	// Without a flight the endpoints 404 with a hint.
+	bare := HandlerWith(r, nil)
+	w := httptest.NewRecorder()
+	bare.ServeHTTP(w, httptest.NewRequest("GET", "/windows", nil))
+	if w.Code != 404 || !strings.Contains(w.Body.String(), "flight recorder not enabled") {
+		t.Fatalf("bare /windows = %d %q", w.Code, w.Body.String())
+	}
+}

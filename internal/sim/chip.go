@@ -62,6 +62,11 @@ type ChipConfig struct {
 	// ends, links, scheme meter) to a private registry. Never affects
 	// simulated results; excluded from content digests.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a virtual-time flight recorder:
+	// every access ticks it, and the CABLE link feeds a "cable" track
+	// (transfers, encode/decode events, fault degradation). Never
+	// affects simulated results; excluded from content digests.
+	Recorder *obs.Recorder
 }
 
 // DefaultChipConfig returns the Table IV single-thread configuration:
@@ -129,6 +134,9 @@ type Chip struct {
 	// injector corrupts CABLE wire images when cfg.Fault is enabled
 	// (nil otherwise — the hot path pays one pointer check).
 	injector *fault.Injector
+	// rec/recTrack feed the optional flight recorder (nil = disabled).
+	rec      *obs.Recorder
+	recTrack *obs.Track
 	// dmx holds the graceful-degradation counters, resolved lazily on
 	// the first decode error so fault-free runs register no new metric
 	// names (keeping zero-rate `-metrics` dumps byte-identical).
@@ -181,6 +189,12 @@ func NewChip(cfg ChipConfig, fill func(lineAddr uint64) []byte) (*Chip, error) {
 			return nil, err
 		}
 		c.Home, c.Remote = he, re
+		if cfg.Recorder != nil {
+			c.rec = cfg.Recorder
+			c.recTrack = c.rec.Track("cable")
+			he.SetRecorder(c.rec, c.recTrack)
+			re.SetRecorder(c.rec, c.recTrack)
+		}
 		c.CableLink = link.NewIn(cfg.Link, cfg.Metrics)
 		// Fault injection targets the CABLE payload stream (the
 		// baseline scheme meters never materialize wire images).
@@ -334,6 +348,9 @@ func (c *Chip) degrade() *degradeCounters {
 func (c *Chip) noteFault() {
 	c.FaultsInjected++
 	c.degrade().faultsInjected.Inc(c.dshard)
+	if c.rec != nil {
+		c.rec.Fault(c.recTrack)
+	}
 }
 
 func (c *Chip) noteDecodeError() {
@@ -357,7 +374,11 @@ func (c *Chip) rawResend(data []byte, ackSeq uint64) int {
 	} else {
 		enc = p.MarshalInto(&c.mw, c.LLC.IndexBits(), c.LLC.WayBits())
 	}
-	return c.CableLink.SendWire(enc.Data, enc.NBits)
+	wire := c.CableLink.SendWire(enc.Data, enc.NBits)
+	if c.rec != nil {
+		c.rec.Degrade(c.recTrack, wire)
+	}
+	return wire
 }
 
 // corruptAndDecode runs one guarded payload image through the fault
@@ -415,6 +436,10 @@ func (c *Chip) evictLLC(ev cache.Eviction, owner int, t *Transfer) {
 		t.WB = true
 		lineBits := len(ev.Data) * 8
 		if c.Remote != nil {
+			var togglesBefore uint64
+			if c.rec != nil {
+				togglesBefore = c.CableLink.Toggles
+			}
 			p := c.Remote.EncodeWriteback(ev.Data)
 			c.CompOps++
 			var wire int
@@ -445,6 +470,9 @@ func (c *Chip) evictLLC(ev cache.Eviction, owner int, t *Transfer) {
 			}
 			t.WBBits = wire
 			c.cableAccount(owner, lineBits, wire)
+			if c.rec != nil {
+				c.rec.Transfer(c.recTrack, lineBits, wire, c.CableLink.Toggles-togglesBefore)
+			}
 		} else {
 			c.schemeMeter.OnWriteback(ev.Data, owner)
 			t.WBBits = c.schemeMeter.LastWire()
@@ -514,6 +542,11 @@ func (c *Chip) ensureL4(addr uint64, owner int, t *Transfer) {
 // Access runs one LLC-level reference through the hierarchy.
 func (c *Chip) Access(a workload.Access, owner int) Transfer {
 	c.Accesses++
+	if c.rec != nil {
+		// One access = one virtual-time tick: the recorder's clock is a
+		// pure function of the access stream, never wall time.
+		c.rec.Tick()
+	}
 	var t Transfer
 	if line, id, ok := c.LLC.Access(a.LineAddr); ok {
 		t.LLCHit = true
@@ -555,6 +588,10 @@ func (c *Chip) Access(a workload.Access, owner int) Transfer {
 	t.Fill = true
 	c.Fills++
 	if c.Home != nil {
+		var togglesBefore uint64
+		if c.rec != nil {
+			togglesBefore = c.CableLink.Toggles
+		}
 		p, lat, err := c.Home.EncodeFill(a.LineAddr, state, way)
 		if err != nil {
 			// Encode runs against the sender's own structures; failure
@@ -600,6 +637,9 @@ func (c *Chip) Access(a workload.Access, owner int) Transfer {
 		}
 		t.FillBits = wire
 		c.cableAccount(owner, lineBits, wire)
+		if c.rec != nil {
+			c.rec.Transfer(c.recTrack, lineBits, wire, c.CableLink.Toggles-togglesBefore)
+		}
 		c.silentDisplace(victim, haveVictim, owner, &t)
 		c.LLC.InsertAt(a.LineAddr, data, state, way)
 		c.Remote.OnFillInstalled(cache.LineID{Index: idx, Way: way}, data, state)

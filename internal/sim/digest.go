@@ -147,8 +147,47 @@ func (c MemLinkConfig) Digest() Digest {
 	return d.sum()
 }
 
-// Digest fingerprints every behavioral field of the config; Metrics is
-// excluded (observation-only).
+// Digest fingerprints every behavioral field of the config; Recorder
+// is excluded (observation-only).
+func (c MultiChipConfig) Digest() Digest {
+	d := newDigester()
+	d.str("multichip/v1")
+	d.i(c.Nodes)
+	d.str(c.Benchmark)
+	d.i(c.Accesses)
+	d.u64(c.PageLines)
+	d.i(c.LLCBytes)
+	d.i(c.LLCWays)
+	d.linkConfig(c.Link)
+	d.coreConfig(c.Cable)
+	d.bool(c.WithMeters)
+	d.bool(c.PooledWMT)
+	d.f64(c.PooledWMTFactor)
+	d.bool(c.Verify)
+	d.faultConfig(c.Fault)
+	return d.sum()
+}
+
+// Digest fingerprints every behavioral field of the config; Recorder
+// is excluded (observation-only).
+func (c NonInclusiveConfig) Digest() Digest {
+	d := newDigester()
+	d.str("noninclusive/v1")
+	d.str(c.Benchmark)
+	d.i(c.Accesses)
+	d.i(c.RemoteBytes)
+	d.i(c.RemoteWays)
+	d.i(c.HomeBytes)
+	d.i(c.HomeWays)
+	d.linkConfig(c.Link)
+	d.coreConfig(c.Cable)
+	d.bool(c.Verify)
+	d.faultConfig(c.Fault)
+	return d.sum()
+}
+
+// Digest fingerprints every behavioral field of the config; Metrics
+// and Recorder are excluded (observation-only).
 func (c TimingConfig) Digest() Digest {
 	d := newDigester()
 	d.str("timing/v1")

@@ -36,6 +36,10 @@ type MemLinkConfig struct {
 	// merges the captured delta into the default registry per request.
 	// Never affects simulated results; excluded from content digests.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a virtual-time flight recorder
+	// to the chip (see ChipConfig.Recorder). Observation-only; excluded
+	// from content digests.
+	Recorder *obs.Recorder
 }
 
 // DefaultMemLinkConfig returns the Table IV single-program setup.
@@ -86,6 +90,9 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 	chipCfg := cfg.Chip
 	if cfg.Metrics != nil {
 		chipCfg.Metrics = cfg.Metrics
+	}
+	if cfg.Recorder != nil {
+		chipCfg.Recorder = cfg.Recorder
 	}
 	if cfg.ScaleCachesByPrograms {
 		chipCfg.LLCBytes *= len(cfg.Benchmarks)

@@ -10,6 +10,7 @@ import (
 	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/mem"
+	"cable/internal/obs"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -51,6 +52,10 @@ type MultiChipConfig struct {
 	// transfer stream). The zero value injects nothing and keeps every
 	// code path byte-identical to a fault-free build.
 	Fault fault.Config
+	// Recorder, when non-nil, attaches a virtual-time flight recorder:
+	// every access ticks it and each node-pair link feeds its own
+	// "link<h>" track. Observation-only; excluded from content digests.
+	Recorder *obs.Recorder
 }
 
 // DefaultMultiChipConfig is the paper's 4-node setup.
@@ -78,6 +83,9 @@ type coherenceLink struct {
 	lnk     *link.Link
 	ratio   stats.Ratio
 	meters  []Meter
+	// track is this link's flight-recorder track (nil when recording
+	// is off).
+	track *obs.Track
 }
 
 // MultiChipResult reports the coherence-link compression outcomes.
@@ -147,8 +155,14 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		if cfg.WithMeters {
 			cl.meters = DefaultMeters(cfg.Link)
 		}
+		if cfg.Recorder != nil {
+			cl.track = cfg.Recorder.Track(fmt.Sprintf("link%d", h))
+			he.SetRecorder(cfg.Recorder, cl.track)
+			re.SetRecorder(cfg.Recorder, cl.track)
+		}
 		links[h] = cl
 	}
+	rec := cfg.Recorder
 	res := &MultiChipResult{Total: map[string]stats.Ratio{}}
 	injector := fault.New(cfg.Fault)
 	var dmx *degradeCounters
@@ -172,7 +186,11 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		} else {
 			enc = p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
 		}
-		return cl.lnk.SendWire(enc.Data, enc.NBits)
+		wire := cl.lnk.SendWire(enc.Data, enc.NBits)
+		if rec != nil {
+			rec.Degrade(cl.track, wire)
+		}
+		return wire
 	}
 	// corruptAndDecode runs one guarded payload image over cl's link
 	// through the fault pipeline; see Chip.corruptAndDecode for the
@@ -192,6 +210,9 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		if corrupted {
 			res.FaultsInjected++
 			degrade().faultsInjected.Inc(dshard)
+			if rec != nil {
+				rec.Fault(cl.track)
+			}
 			if derr == nil && !bytes.Equal(got, want) {
 				derr = fmt.Errorf("sim: corruption of line %#x escaped the CRC guard: %w", lineAddr, core.ErrCRCMismatch)
 			}
@@ -233,6 +254,10 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		cl := links[h]
 		if ev.State == cache.Modified {
 			res.DirtyWBs++
+			var togglesBefore uint64
+			if rec != nil {
+				togglesBefore = cl.lnk.Toggles
+			}
 			p := cl.re.EncodeWriteback(ev.Data)
 			var wire int
 			if injector != nil {
@@ -260,6 +285,9 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 				}
 			}
 			cl.ratio.Add(len(ev.Data)*8, wire)
+			if rec != nil {
+				rec.Transfer(cl.track, len(ev.Data)*8, wire, cl.lnk.Toggles-togglesBefore)
+			}
 			for _, m := range cl.meters {
 				m.OnWriteback(ev.Data, 0)
 			}
@@ -297,6 +325,9 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	}
 
 	for i := 0; i < cfg.Accesses; i++ {
+		if rec != nil {
+			rec.Tick()
+		}
 		a := gen.Next()
 		h := home(a.LineAddr)
 		if line, id, ok := reqLLC.Access(a.LineAddr); ok {
@@ -335,6 +366,10 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		cl := links[h]
 		ensureHomeLLC(cl, a.LineAddr)
 		res.RemoteFills++
+		var togglesBefore uint64
+		if rec != nil {
+			togglesBefore = cl.lnk.Toggles
+		}
 		p, _, err := cl.he.EncodeFill(a.LineAddr, state, way)
 		if err != nil {
 			// Encode failure is a sender-side invariant violation, not
@@ -372,6 +407,9 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 			}
 		}
 		cl.ratio.Add(len(data)*8, wire)
+		if rec != nil {
+			rec.Transfer(cl.track, len(data)*8, wire, cl.lnk.Toggles-togglesBefore)
+		}
 		for _, m := range cl.meters {
 			m.OnFill(want.Data, 0)
 		}

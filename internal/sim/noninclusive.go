@@ -10,6 +10,7 @@ import (
 	"cable/internal/fault"
 	"cable/internal/link"
 	"cable/internal/mem"
+	"cable/internal/obs"
 	"cable/internal/stats"
 	"cable/internal/workload"
 )
@@ -43,6 +44,10 @@ type NonInclusiveConfig struct {
 	// The zero value injects nothing and keeps every code path
 	// byte-identical to a fault-free build.
 	Fault fault.Config
+	// Recorder, when non-nil, attaches a virtual-time flight recorder:
+	// every access ticks it and the link feeds a "cable" track.
+	// Observation-only; excluded from content digests.
+	Recorder *obs.Recorder
 }
 
 // DefaultNonInclusiveConfig mirrors the memory-link setup with a
@@ -97,6 +102,13 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		return nil, err
 	}
 	lnk := link.New(cfg.Link)
+	rec := cfg.Recorder
+	var track *obs.Track
+	if rec != nil {
+		track = rec.Track("cable")
+		he.SetRecorder(rec, track)
+		re.SetRecorder(rec, track)
+	}
 	res := &NonInclusiveResult{}
 	injector := fault.New(cfg.Fault)
 	var dmx *degradeCounters
@@ -119,7 +131,11 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		} else {
 			enc = p.Marshal(remote.IndexBits(), remote.WayBits())
 		}
-		return lnk.SendWire(enc.Data, enc.NBits)
+		wire := lnk.SendWire(enc.Data, enc.NBits)
+		if rec != nil {
+			rec.Degrade(track, wire)
+		}
+		return wire
 	}
 	// corruptAndDecode runs one guarded payload image through the fault
 	// pipeline; see Chip.corruptAndDecode for the accounting contract.
@@ -138,6 +154,9 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		if corrupted {
 			res.FaultsInjected++
 			degrade().faultsInjected.Inc(dshard)
+			if rec != nil {
+				rec.Fault(track)
+			}
 			if derr == nil && !bytes.Equal(got, want) {
 				derr = fmt.Errorf("sim: corruption of line %#x escaped the CRC guard: %w", lineAddr, core.ErrCRCMismatch)
 			}
@@ -184,6 +203,9 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	}
 
 	for i := 0; i < cfg.Accesses; i++ {
+		if rec != nil {
+			rec.Tick()
+		}
 		a := gen.Next()
 		if line, id, ok := remote.Access(a.LineAddr); ok {
 			if a.Write {
@@ -204,6 +226,10 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 			ev, _ := remote.Invalidate(victim)
 			if ev.State == cache.Modified {
 				res.WBs++
+				var togglesBefore uint64
+				if rec != nil {
+					togglesBefore = lnk.Toggles
+				}
 				p := re.EncodeWriteback(ev.Data)
 				if len(p.Refs) != 0 {
 					// Sender-side protocol invariant (§IV-C), not a
@@ -236,6 +262,9 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 					}
 				}
 				res.Cable.Add(len(ev.Data)*8, wire)
+				if rec != nil {
+					rec.Transfer(track, len(ev.Data)*8, wire, lnk.Toggles-togglesBefore)
+				}
 				// The home may or may not cache the WB; it caches. It
 				// absorbs the remote's dirty data (what the decode
 				// reconstructed, or the raw retry delivered).
@@ -265,6 +294,10 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 			data = store.Read(a.LineAddr)
 			res.ForwardedFills++
 			installHome(a.LineAddr, data)
+		}
+		var togglesBefore uint64
+		if rec != nil {
+			togglesBefore = lnk.Toggles
 		}
 		p, _, err := he.EncodeFillData(a.LineAddr, data, state, way)
 		if err != nil {
@@ -302,6 +335,9 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 			}
 		}
 		res.Cable.Add(len(data)*8, wire)
+		if rec != nil {
+			rec.Transfer(track, len(data)*8, wire, lnk.Toggles-togglesBefore)
+		}
 		remote.InsertAt(a.LineAddr, got, state, way)
 		re.OnFillInstalled(cache.LineID{Index: idx, Way: way}, got, state)
 		re.OnAck(p.AckSeq)

@@ -73,6 +73,11 @@ type TimingConfig struct {
 	// private registry (see MemLinkConfig.Metrics). Never affects
 	// simulated results; excluded from content digests.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a virtual-time flight recorder
+	// to the underlying chip (warm-up accesses tick it too — the clock
+	// stays a pure function of the access stream). Observation-only;
+	// excluded from content digests.
+	Recorder *obs.Recorder
 }
 
 // DefaultTimingConfig returns the Table IV system for one benchmark.
@@ -166,6 +171,7 @@ func RunTiming(cfg TimingConfig) (*TimingResult, error) {
 		Verify:   cfg.Verify,
 		Fault:    cfg.Fault,
 		Metrics:  cfg.Metrics,
+		Recorder: cfg.Recorder,
 	}
 	spec, err := workload.ByName(cfg.Benchmark)
 	if err != nil {

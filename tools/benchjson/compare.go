@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// runCompare implements `benchjson -compare old.json new.json
+// [-max-regress PCT]`. Benchmarks are matched by base name and cpu
+// count across the two snapshots; for each match it prints the ns/op
+// delta, and returns 1 if any benchmark slowed down by more than
+// maxRegress percent (default 10). Benchmarks present in only one file
+// are listed but never gate — snapshots grow new benchmarks every PR.
+func runCompare(args []string, out, errw io.Writer) int {
+	var paths []string
+	maxRegress := 10.0
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-max-regress", "--max-regress":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(errw, "benchjson: -max-regress needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(errw, "benchjson: bad -max-regress %q\n", args[i])
+				return 2
+			}
+			maxRegress = v
+		default:
+			paths = append(paths, args[i])
+		}
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(errw, "usage: benchjson -compare old.json new.json [-max-regress PCT]")
+		return 2
+	}
+	oldF, err := loadBenchFile(paths[0])
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+	newF, err := loadBenchFile(paths[1])
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+
+	matches, oldOnly, newOnly := matchResults(oldF.Results, newF.Results)
+	if len(matches) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmarks in common — nothing to compare")
+		return 2
+	}
+
+	fmt.Fprintf(out, "%-44s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := 0
+	for _, m := range matches {
+		delta := 0.0
+		if m.oldNs > 0 {
+			delta = (m.newNs - m.oldNs) / m.oldNs * 100
+		}
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(out, "%-44s %12.1f %12.1f %+8.1f%%%s\n", m.name, m.oldNs, m.newNs, delta, mark)
+	}
+	for _, n := range oldOnly {
+		fmt.Fprintf(out, "%-44s %12s (only in %s)\n", n, "-", paths[0])
+	}
+	for _, n := range newOnly {
+		fmt.Fprintf(out, "%-44s %12s (only in %s)\n", n, "-", paths[1])
+	}
+	if failed > 0 {
+		fmt.Fprintf(errw, "benchjson: %d benchmark(s) regressed by more than %.0f%%\n", failed, maxRegress)
+		return 1
+	}
+	fmt.Fprintf(out, "ok: %d benchmark(s) within %.0f%% of %s\n", len(matches), maxRegress, paths[0])
+	return 0
+}
+
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+type comparePair struct {
+	name         string
+	oldNs, newNs float64
+}
+
+// matchResults pairs benchmarks across snapshots by (base name, cpus).
+// The pkg field is intentionally ignored: older snapshots were written
+// before benchjson recorded packages, so keying on it would silently
+// skip every comparison against them.
+func matchResults(oldR, newR []benchResult) (matches []comparePair, oldOnly, newOnly []string) {
+	key := func(r benchResult) string {
+		base, cpus := splitCPU(r.Name)
+		return base + "-" + strconv.Itoa(cpus)
+	}
+	oldBy := map[string]benchResult{}
+	for _, r := range oldR {
+		if _, dup := oldBy[key(r)]; !dup {
+			oldBy[key(r)] = r
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range newR {
+		k := key(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if o, ok := oldBy[k]; ok {
+			matches = append(matches, comparePair{name: r.Name, oldNs: o.NsPerOp, newNs: r.NsPerOp})
+		} else {
+			newOnly = append(newOnly, r.Name)
+		}
+	}
+	for k, r := range oldBy {
+		if !seen[k] {
+			oldOnly = append(oldOnly, r.Name)
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].name < matches[j].name })
+	sort.Strings(oldOnly)
+	sort.Strings(newOnly)
+	return matches, oldOnly, newOnly
+}

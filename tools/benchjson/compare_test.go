@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, results []benchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := json.Marshal(benchFile{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", []benchResult{
+		{Name: "BenchmarkEncodeFill", Cpus: 1, NsPerOp: 1000},
+		{Name: "BenchmarkScaling-4", Cpus: 4, NsPerOp: 500},
+		{Name: "BenchmarkGone", Cpus: 1, NsPerOp: 10},
+	})
+
+	// Improvement + small regression within the gate: exit 0.
+	newOK := writeBench(t, dir, "new_ok.json", []benchResult{
+		{Name: "BenchmarkEncodeFill", Pkg: "cable", Cpus: 1, NsPerOp: 800},
+		{Name: "BenchmarkScaling-4", Pkg: "cable", Cpus: 4, NsPerOp: 540}, // +8%
+		{Name: "BenchmarkNew", Pkg: "cable", Cpus: 1, NsPerOp: 5},
+	})
+	var out, errw bytes.Buffer
+	if code := runCompare([]string{oldPath, newOK, "-max-regress", "10"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	for _, want := range []string{"BenchmarkEncodeFill", "-20.0%", "+8.0%", "BenchmarkGone", "BenchmarkNew"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A 50% regression breaches the gate: exit 1 and flag the row.
+	newBad := writeBench(t, dir, "new_bad.json", []benchResult{
+		{Name: "BenchmarkEncodeFill", Cpus: 1, NsPerOp: 1500},
+	})
+	out.Reset()
+	errw.Reset()
+	if code := runCompare([]string{oldPath, newBad, "-max-regress", "10"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+
+	// The same file against itself with a generous gate: exit 0.
+	if code := runCompare([]string{oldPath, oldPath}, &out, &errw); code != 0 {
+		t.Fatalf("self-compare exit %d", code)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runCompare([]string{"only-one.json"}, &out, &errw); code != 2 {
+		t.Fatalf("one path: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{"a.json", "b.json", "-max-regress", "nope"}, &out, &errw); code != 2 {
+		t.Fatalf("bad -max-regress: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{"/nonexistent.json", "/nonexistent2.json"}, &out, &errw); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	a := writeBench(t, dir, "a.json", []benchResult{{Name: "BenchmarkA", Cpus: 1, NsPerOp: 1}})
+	b := writeBench(t, dir, "b.json", []benchResult{{Name: "BenchmarkB", Cpus: 1, NsPerOp: 1}})
+	if code := runCompare([]string{a, b}, &out, &errw); code != 2 {
+		t.Fatalf("disjoint sets: exit %d, want 2", code)
+	}
+}
+
+// TestCompareRealSnapshots pins the committed BENCH files the CI gate
+// runs against: they must stay comparable.
+func TestCompareRealSnapshots(t *testing.T) {
+	for _, p := range []string{"../../BENCH_pr5.json", "../../BENCH_pr6.json"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Skipf("snapshot missing: %v", err)
+		}
+	}
+	var out, errw bytes.Buffer
+	if code := runCompare([]string{"../../BENCH_pr5.json", "../../BENCH_pr6.json", "-max-regress", "10"}, &out, &errw); code != 0 {
+		t.Fatalf("pr5→pr6 gate failed (%d):\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEncodeFill") {
+		t.Fatalf("shared benchmark not compared:\n%s", out.String())
+	}
+}

@@ -3,6 +3,15 @@
 // be committed (see the Makefile's bench-json and bench-scaling
 // targets) and diffed across PRs without parsing bench text by hand.
 //
+// It also compares two such snapshots:
+//
+//	benchjson -compare old.json new.json -max-regress 10
+//
+// prints a per-benchmark ns/op delta table for every benchmark present
+// in both files (matched by base name and cpu count) and exits non-zero
+// if any slowed down by more than the given percentage — the CI
+// perf-regression gate.
+//
 // Each result records the package it came from (the most recent "pkg:"
 // header — BENCH_pr5.json wrongly stamped one file-level pkg on every
 // result) and the GOMAXPROCS suffix `go test -cpu` appends to benchmark
@@ -69,6 +78,11 @@ func splitCPU(name string) (base string, cpus int) {
 }
 
 func main() {
+	// The compare syntax puts positional paths between flags, which the
+	// flag package cannot parse; compare.go scans os.Args directly.
+	if len(os.Args) > 1 && (os.Args[1] == "-compare" || os.Args[1] == "--compare") {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	out := benchFile{Results: []benchResult{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func sampleTimeline() *timelineFile {
+	return &timelineFile{
+		Window: 512,
+		Cells: []cellTimeline{
+			{
+				Cell: "memlink/bzip2/abcdef", Now: 4096,
+				Events: []event{
+					{VT: 1, Kind: "encode", Track: "cable", Class: "diff1", Bits: 120, Skip: false, DurNs: 2500},
+					{VT: 1, Kind: "decode", Track: "cable", Bits: 120},
+					{VT: 2, Kind: "encode", Track: "cable", Class: "raw", Bits: 512, Skip: true},
+					{VT: 3, Kind: "fault", Track: "cable"},
+					{VT: 3, Kind: "degrade", Track: "cable", Bits: 520},
+				},
+			},
+			{
+				Cell: "multichip/gcc/123456", Now: 2048,
+				Events: []event{
+					{VT: 7, Kind: "wb-encode", Track: "link1", Bits: 64},
+					{VT: 9, Kind: "wb-decode", Track: "link0", Bits: 64},
+				},
+			},
+		},
+		Memo: []memoEvent{{Hit: false, WallNs: 1000}, {Hit: true, WallNs: 5000}},
+	}
+}
+
+func TestConvertShape(t *testing.T) {
+	tf := convert(sampleTimeline())
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	var spans, instants, meta int
+	pids := map[int]bool{}
+	for _, e := range tf.TraceEvents {
+		pids[e.Pid] = true
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has no duration", e.Name)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// 5 spans (3 encodes/decodes + 2 writebacks), 2 instants + 2 memo
+	// instants, metadata: 2 process names + 3 thread names + memo process.
+	if spans != 5 {
+		t.Fatalf("spans = %d, want 5", spans)
+	}
+	if instants != 4 {
+		t.Fatalf("instants = %d, want 4", instants)
+	}
+	if meta != 6 {
+		t.Fatalf("metadata events = %d, want 6", meta)
+	}
+	// Cells land on pids 1..N; memo on pid 0.
+	for _, pid := range []int{0, 1, 2} {
+		if !pids[pid] {
+			t.Fatalf("missing pid %d in %v", pid, pids)
+		}
+	}
+	// The explicit wall-clock duration survives in microseconds.
+	found := false
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" && e.Dur == 2.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("2500ns span did not convert to 2.5µs")
+	}
+}
+
+// TestConvertValidates: the converter's output passes the validator
+// (the same pairing the CI smoke runs), and stays deterministic.
+func TestConvertValidates(t *testing.T) {
+	a, err := json.Marshal(convert(sampleTimeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateTrace(a); err != nil {
+		t.Fatalf("converted trace invalid: %v", err)
+	}
+	b, err := json.Marshal(convert(sampleTimeline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("conversion is not deterministic")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []string{
+		`[]`,                             // array, not object
+		`{}`,                             // no traceEvents
+		`{"traceEvents":[{"ph":"X"}]}`,   // missing name
+		`{"traceEvents":[{"name":"x"}]}`, // missing ph
+		`{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]}`,  // span without dur
+		`{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":0,"tid":0}]}`, // negative ts
+		`{"traceEvents":[{"name":"x","ph":"i","ts":1,"tid":0}]}`,          // missing pid
+	}
+	for _, s := range bad {
+		if err := validateTrace([]byte(s)); err == nil {
+			t.Fatalf("validator accepted %s", s)
+		}
+	}
+	good := `{"traceEvents":[{"name":"p","ph":"M","pid":1,"tid":0,"args":{"name":"cell"}},` +
+		`{"name":"encode","ph":"X","ts":1,"dur":1,"pid":1,"tid":1}]}`
+	if err := validateTrace([]byte(good)); err != nil {
+		t.Fatalf("validator rejected a good trace: %v", err)
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	in, out, v := parseArgs([]string{"-in", "a.json", "-o", "b.json"})
+	if in != "a.json" || out != "b.json" || v != "" {
+		t.Fatalf("got %q %q %q", in, out, v)
+	}
+	_, _, v = parseArgs([]string{"-validate", "t.json"})
+	if v != "t.json" {
+		t.Fatalf("validate = %q", v)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// validateTrace checks that data parses as Chrome trace-event JSON
+// (object format): a top-level object with a traceEvents array whose
+// entries all carry a name and a phase, with numeric ts/dur on
+// complete events and pid/tid fields present. This is the same check
+// the CI trace-export smoke runs.
+func validateTrace(data []byte) error {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("not a JSON object: %v", err)
+	}
+	raw, ok := top["traceEvents"]
+	if !ok {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("traceEvents is not an array of objects: %v", err)
+	}
+	for i, e := range events {
+		var name, ph string
+		if err := unmarshalField(e, "name", &name); err != nil || name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if err := unmarshalField(e, "ph", &ph); err != nil || ph == "" {
+			return fmt.Errorf("event %d (%s): missing ph", i, name)
+		}
+		if ph == "M" {
+			continue // metadata events need no timestamp
+		}
+		var ts float64
+		if err := unmarshalField(e, "ts", &ts); err != nil {
+			return fmt.Errorf("event %d (%s): missing numeric ts", i, name)
+		}
+		if ts < 0 {
+			return fmt.Errorf("event %d (%s): negative ts %v", i, name, ts)
+		}
+		if ph == "X" {
+			var dur float64
+			if err := unmarshalField(e, "dur", &dur); err != nil || dur <= 0 {
+				return fmt.Errorf("event %d (%s): complete event without positive dur", i, name)
+			}
+		}
+		for _, k := range []string{"pid", "tid"} {
+			var v float64
+			if err := unmarshalField(e, k, &v); err != nil {
+				return fmt.Errorf("event %d (%s): missing numeric %s", i, name, k)
+			}
+		}
+	}
+	return nil
+}
+
+func unmarshalField(e map[string]json.RawMessage, key string, out interface{}) error {
+	raw, ok := e[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	return json.Unmarshal(raw, out)
+}
