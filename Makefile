@@ -1,5 +1,5 @@
 # Tier-1 verification (ROADMAP.md): build + tests.
-.PHONY: all build test check bench bench-json bench-scaling report
+.PHONY: all build test check bench bench-json bench-scaling report soak-mesh
 
 all: build test
 
@@ -33,6 +33,13 @@ check:
 	go run ./tools/traceexport -in "$$tmp/t1.json" -o "$$tmp/trace.json" && \
 	go run ./tools/traceexport -validate "$$tmp/trace.json"
 	go run ./tools/benchjson -compare BENCH_pr5.json BENCH_pr6.json -max-regress 10
+	go run ./tools/benchjson -compare BENCH_pr6.json BENCH_pr8.json -max-regress 10
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go run ./cmd/cablesim -exp mesh -quick -parallel 1 -metrics "$$tmp/mm1.json" >"$$tmp/m1.txt" && \
+	go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 -metrics "$$tmp/mm8.json" >"$$tmp/m8.txt" && \
+	cmp "$$tmp/m1.txt" "$$tmp/m8.txt" && cmp "$$tmp/mm1.json" "$$tmp/mm8.json"
+	GOMAXPROCS=2 go test -race -count=1 -run 'TestRunDeterministicAcrossParallelism' ./internal/topo
+	CABLE_MESH_SOAK_TRANSFERS=1000000 go test -count=1 -run 'TestMeshSoak' ./internal/topo
 	go test -run=NOTHING -bench=. -benchtime=1x .
 	go test -run=NOTHING -bench 'BenchmarkRunAllScaling$$|BenchmarkMemLinkProtocolScaling$$' -benchtime=1x -benchmem -cpu 1,2 . | go run ./tools/benchjson >/dev/null
 	go test -race -timeout 45m ./...
@@ -43,14 +50,21 @@ bench:
 	go test -run xxx -bench 'BenchmarkEncodeFill|BenchmarkDecodeFill|BenchmarkEngineCompress' -benchmem -count 10 .
 
 # bench-json snapshots the headline benchmarks (end-to-end protocol,
-# full quick-scale report, hot encode path, and the word-level bit-IO /
-# signature-scan kernels) as committed JSON, so perf PRs carry
-# machine-readable before/after numbers.
+# full quick-scale report, hot encode path, the topology soak, and the
+# word-level bit-IO / signature-scan kernels) as committed JSON, so
+# perf PRs carry machine-readable before/after numbers. The gated
+# anchor shared with BENCH_pr6.json is BenchmarkEncodeFill: it is
+# single-threaded and stable across sessions. BenchmarkEncodeBatch is
+# deliberately excluded — it spawns a worker pool, so its number tracks
+# container load, not code, and would trip the 10% cross-snapshot gate
+# on noise (it still runs in make check's bench smoke). Each benchmark
+# runs -count 5 and benchjson keeps the fastest sample: minimum-of-N
+# discards VM scheduler noise, which otherwise dwarfs real deltas.
 bench-json:
-	{ go test -run xxx -bench 'BenchmarkMemLinkProtocol$$|BenchmarkRunAllSerial$$|BenchmarkEncodeFill$$' -benchmem -count 1 . ; \
-	  go test -run xxx -bench 'BenchmarkWriteBits$$|BenchmarkReadBits$$' -benchmem -count 1 ./internal/bits ; \
-	  go test -run xxx -bench 'BenchmarkSigScan$$' -benchmem -count 1 ./internal/sig ; } \
-		| go run ./tools/benchjson > BENCH_pr5.json
+	{ go test -run xxx -bench 'BenchmarkMemLinkProtocol$$|BenchmarkRunAllSerial$$|BenchmarkEncodeFill$$|BenchmarkMeshSoak$$' -benchmem -count 5 . ; \
+	  go test -run xxx -bench 'BenchmarkWriteBits$$|BenchmarkReadBits$$' -benchmem -count 5 ./internal/bits ; \
+	  go test -run xxx -bench 'BenchmarkSigScan$$' -benchmem -count 5 ./internal/sig ; } \
+		| go run ./tools/benchjson > BENCH_pr8.json
 
 # bench-scaling snapshots the multi-core story as BENCH_pr6.json: the
 # experiment-runner and protocol scaling curves at GOMAXPROCS 1/2/4/8/16
@@ -64,6 +78,12 @@ bench-scaling:
 	{ go test -run xxx -bench 'BenchmarkRunAllScaling$$|BenchmarkMemLinkProtocolScaling$$' -benchmem -cpu 1,2,4,8,16 -count 1 . ; \
 	  go test -run xxx -bench 'BenchmarkEncodeFill$$|BenchmarkEncodeBatch$$' -benchmem -count 1 . ; } \
 		| go run ./tools/benchjson > BENCH_pr6.json
+
+# soak-mesh drives the 16-chip mesh through 1M fault-injected transfers
+# (the PR-acceptance run used 10M via CABLE_MESH_SOAK_TRANSFERS=10000000):
+# zero panics, every corrupted frame counted and recovered.
+soak-mesh:
+	CABLE_MESH_SOAK_TRANSFERS=1000000 go test -count=1 -run 'TestMeshSoak' -v ./internal/topo
 
 report:
 	go run ./cmd/cablereport -quick

@@ -55,3 +55,27 @@ func TestRunMemoryLinkAllocBudget(t *testing.T) {
 		t.Fatalf("RunMemoryLink allocated %.0f times per run; budget is %d", avg, budget)
 	}
 }
+
+// TestRunMultiChipAllocBudget pins the coherence simulation's
+// allocation count after the directory-state recycling work: the
+// write-version map is pooled, caches and CABLE ends release their
+// backings, and every marshal goes through the run's scratch writer.
+// Measured ~2.4k allocs/run at this configuration (down from ~10k when
+// each transfer marshaled into a fresh buffer); the budget leaves room
+// for noise while catching any per-access allocation (≥5000 here)
+// creeping back.
+func TestRunMultiChipAllocBudget(t *testing.T) {
+	const budget = 4000
+	cfg := cable.DefaultMultiChipConfig("dealII")
+	cfg.Accesses = 5000
+	cfg.WithMeters = false
+	cfg.LLCBytes = 256 << 10
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := cable.RunMultiChip(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("RunMultiChip allocated %.0f times per run; budget is %d", avg, budget)
+	}
+}

@@ -218,6 +218,33 @@ func BenchmarkMemLinkProtocolScaling(b *testing.B) {
 	})
 }
 
+// BenchmarkMeshSoak is the topology engine's throughput benchmark: one
+// op is a full fault-injected 16-chip mesh run (schedule, parallel
+// per-link encode, replay) at 50k transfers. transfers/s is the number
+// BENCH_pr8.json quotes; MB/s is the simulated source data pushed
+// through the per-link CABLE pipelines per wall-clock second.
+func BenchmarkMeshSoak(b *testing.B) {
+	cfg := cable.DefaultTopologyConfig("dealII")
+	cfg.Transfers = 50000
+	cfg.Verify = false
+	cfg.Fault = cable.FaultConfig{BitRate: 1e-3, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var transfers uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cable.RunTopology(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transfers += res.LinkTransfers
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(transfers)/secs, "transfers/s")
+		b.ReportMetric(float64(transfers)*64/1e6/secs, "MB/s")
+	}
+}
+
 // --- micro-benchmarks of the hot paths ---
 
 // warmChip builds a memory-link chip and drives it to steady state, so

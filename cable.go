@@ -39,6 +39,7 @@ import (
 	"cable/internal/link"
 	"cable/internal/obs"
 	"cable/internal/sim"
+	"cable/internal/topo"
 	"cable/internal/workload"
 )
 
@@ -229,6 +230,39 @@ func DefaultNonInclusiveConfig(benchmark string) NonInclusiveConfig {
 // RunNonInclusive runs the non-inclusive simulation.
 func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	return sim.RunNonInclusive(cfg)
+}
+
+// TopologyConfig configures the discrete-event N-chip topology
+// simulation: chips wired as a ring, 2D mesh (XY routing) or star,
+// with one CABLE home/remote end pair per directed link and
+// shared-home contention queues at every chip's encoder.
+type TopologyConfig = topo.Config
+
+// TopologyResult reports a topology run: aggregate compression,
+// remote-dictionary hit rate, raw vs CABLE makespans, and per-link
+// statistics.
+type TopologyResult = topo.Result
+
+// TopologyLinkStat is one directed link's row of a TopologyResult.
+type TopologyLinkStat = topo.LinkStat
+
+// Topology shapes accepted by TopologyConfig.Shape.
+const (
+	TopologyRing = topo.ShapeRing
+	TopologyMesh = topo.ShapeMesh
+	TopologyStar = topo.ShapeStar
+)
+
+// DefaultTopologyConfig returns the 16-chip mesh setup the scale-out
+// study uses.
+func DefaultTopologyConfig(benchmark string) TopologyConfig {
+	return topo.DefaultConfig(benchmark)
+}
+
+// RunTopology runs the discrete-event topology simulation. Results are
+// bit-identical at any cfg.Parallelism.
+func RunTopology(cfg TopologyConfig) (*TopologyResult, error) {
+	return topo.Run(cfg)
 }
 
 // FaultConfig describes deterministic link fault injection (per-bit

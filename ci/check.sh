@@ -73,8 +73,29 @@ echo "== trace-export smoke (record -> convert -> validate)"
 go run ./tools/traceexport -in "$tmpdir/t1.json" -o "$tmpdir/trace.json"
 go run ./tools/traceexport -validate "$tmpdir/trace.json"
 
-echo "== bench regression gate (pr5 -> pr6 snapshots)"
+echo "== bench regression gate (pr5 -> pr6 -> pr8 snapshots)"
 go run ./tools/benchjson -compare BENCH_pr5.json BENCH_pr6.json -max-regress 10
+go run ./tools/benchjson -compare BENCH_pr6.json BENCH_pr8.json -max-regress 10
+
+echo "== mesh determinism (table+metrics, any -parallel, memo on/off)"
+# The topology engine's bit-identity contract at the CLI surface: the
+# rendered table and the deterministic metrics dump must match between
+# a serial memoized run and 8 workers with the memo off on 2 OS threads.
+go run ./cmd/cablesim -exp mesh -quick -parallel 1 -metrics "$tmpdir/mm1.json" >"$tmpdir/m1.txt"
+go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 -metrics "$tmpdir/mm8.json" >"$tmpdir/m8.txt"
+cmp "$tmpdir/m1.txt" "$tmpdir/m8.txt"
+cmp "$tmpdir/mm1.json" "$tmpdir/mm8.json"
+
+echo "== mesh determinism under 2 workers (-race)"
+# Same contract at the engine level with the race detector watching the
+# per-link worker pool: every shape, clean and fault-injected.
+GOMAXPROCS=2 go test -race -count=1 -run 'TestRunDeterministicAcrossParallelism' ./internal/topo
+
+echo "== mesh fault soak (1M transfers)"
+# make soak-mesh: the 16-chip mesh through a million fault-injected
+# transfers — zero panics, every corrupted frame counted and recovered
+# by exactly one raw resend.
+CABLE_MESH_SOAK_TRANSFERS=1000000 go test -count=1 -run 'TestMeshSoak' ./internal/topo
 
 echo "== parallel determinism under 2 workers (-race)"
 # The in-tree gate for the runner's bit-identity contract, clean and

@@ -49,6 +49,8 @@ func main() {
 	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault pattern (same seed+rates ⇒ identical results at any -parallel)")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "cap the Go scheduler's OS-thread parallelism before running (0 = keep the environment's GOMAXPROCS)")
+	topology := flag.String("topology", "", "interconnect shape for the mesh experiment: ring|mesh|star (default mesh)")
+	chips := flag.Int("chips", 0, "chip count for the mesh experiment (default 16; 8 in -quick)")
 	flag.Parse()
 
 	if *gomaxprocs > 0 {
@@ -95,7 +97,8 @@ func main() {
 	fmt.Fprintf(w, "# CABLE reproduction report (%s scale)\n\n", mode)
 	opt := cable.ExperimentOptions{
 		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
-		Fault:  cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Fault:    cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Topology: *topology, Chips: *chips,
 		Flight: flight,
 	}
 	srcBits := cable.MetricValue("core.source_bits")

@@ -11,6 +11,7 @@
 //	cablesim -exp fig12 -http :6060      # live /metrics, /health dashboard and /debug/pprof
 //	cablesim -exp fig12 -windows w.json  # dump the flight recorder's windowed time series
 //	cablesim -exp fig12 -timeline t.json # dump the event timeline (tools/traceexport input)
+//	cablesim -exp mesh -topology ring -chips 8  # N-chip topology scale-out
 //	cablesim -list                 # list experiment ids
 package main
 
@@ -40,6 +41,8 @@ func main() {
 	faultTrunc := flag.Float64("fault-trunc-rate", 0, "per-image truncation probability injected into CABLE wire images")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault pattern (same seed+rates ⇒ identical results at any -parallel)")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "cap the Go scheduler's OS-thread parallelism before running (0 = keep the environment's GOMAXPROCS)")
+	topology := flag.String("topology", "", "interconnect shape for -exp mesh: ring|mesh|star (default mesh)")
+	chips := flag.Int("chips", 0, "chip count for -exp mesh (default 16; 8 in -quick)")
 	flag.Parse()
 
 	if *gomaxprocs > 0 {
@@ -75,7 +78,8 @@ func main() {
 	}
 	opt := cable.ExperimentOptions{
 		Quick: *quick, Parallelism: *parallel, DisableCellMemo: *nomemo,
-		Fault:  cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Fault:    cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
+		Topology: *topology, Chips: *chips,
 		Flight: flight,
 	}
 	srcBits := cable.MetricValue("core.source_bits")

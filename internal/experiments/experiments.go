@@ -43,6 +43,13 @@ type Options struct {
 	// never alias.
 	Fault fault.Config
 
+	// Topology/Chips override the `mesh` experiment's interconnect
+	// shape ("ring"|"mesh"|"star") and chip count from the CLI
+	// (`-topology`, `-chips`). Zero values mean the driver default
+	// (16-chip mesh; 8 chips in quick mode).
+	Topology string
+	Chips    int
+
 	// Flight, when non-nil, attaches a virtual-time flight recorder to
 	// every simulation cell the drivers run (the `-windows`/`-timeline`
 	// CLI flags). Each distinct cell digest registers exactly one
@@ -90,6 +97,7 @@ var drivers = []driver{
 	{"onoff", "on/off compression control (§VI-D)", OnOff},
 	{"ablation", "design-choice ablations (pointer width, bucket depth, insert signatures)", Ablation},
 	{"breakdown", "per-benchmark encoding-class coverage (raw/standalone/diff-N, skips, bits per line)", Breakdown},
+	{"mesh", "N-chip topology scale-out (ring/mesh/star, discrete-event contention)", Mesh},
 }
 
 // IDs lists every experiment id in paper order.

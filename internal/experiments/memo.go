@@ -7,6 +7,7 @@ import (
 	"cable/internal/obs"
 	"cable/internal/sim"
 	"cable/internal/stats"
+	"cable/internal/topo"
 )
 
 // This file is the cross-experiment cell cache: many drivers evaluate
@@ -61,8 +62,9 @@ const memoStripes = 64
 type memoEntry struct {
 	ready chan struct{}
 
-	mem *sim.MemLinkResult // slim copy: Chip is nil (no driver reads it)
-	tim *sim.TimingResult
+	mem  *sim.MemLinkResult // slim copy: Chip is nil (no driver reads it)
+	tim  *sim.TimingResult
+	topo *topo.Result
 	// delta is the cell's non-volatile metrics prepared against the
 	// default registry, re-applied on every request for this cell. A
 	// prepared delta resolves metric pointers once, so replays are

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cable/internal/fault"
+)
+
+// TestMeshDeterministicAcrossParallelism is the mesh experiment's
+// acceptance contract: the rendered table, notes and the deterministic
+// `-metrics` dump are byte-identical across -parallel 1 and 8, with
+// the cell memo on or off, clean and under fault injection. The
+// parallelism under test is the per-link worker pool inside each
+// topology run — the mesh driver's benchmarks run serially.
+func TestMeshDeterministicAcrossParallelism(t *testing.T) {
+	for _, faulty := range []bool{false, true} {
+		base := Options{Quick: true, Parallelism: 1, DisableCellMemo: true}
+		if faulty {
+			base.Fault = fault.Config{BitRate: 1e-3, Seed: 3}
+		}
+		baseTables, baseMetrics := renderAll(t, []string{"mesh"}, base)
+
+		for _, parallel := range []int{1, 8} {
+			for _, memoOff := range []bool{false, true} {
+				opt := base
+				opt.Parallelism = parallel
+				opt.DisableCellMemo = memoOff
+				name := fmt.Sprintf("fault=%v parallel=%d memo=%v", faulty, parallel, !memoOff)
+				tables, metrics := renderAll(t, []string{"mesh"}, opt)
+				if tables != baseTables {
+					t.Errorf("%s: tables differ from serial memo-off run:\n--- got ---\n%s\n--- want ---\n%s", name, tables, baseTables)
+				}
+				if !bytes.Equal(metrics, baseMetrics) {
+					t.Errorf("%s: deterministic metrics dump differs from serial memo-off run", name)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshCLIOverrides pins the -topology/-chips plumbing: the driver
+// must honor the overrides and report them in its notes.
+func TestMeshCLIOverrides(t *testing.T) {
+	opt := Options{Quick: true, Parallelism: 4, Topology: "ring", Chips: 5}
+	res, err := Mesh(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "5-chip ring, 10 directed links, one CABLE end pair per link"
+	if len(res.Notes) == 0 || res.Notes[0] != want {
+		t.Fatalf("notes = %v, want first note %q", res.Notes, want)
+	}
+}

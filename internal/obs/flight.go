@@ -247,8 +247,14 @@ func (r *Recorder) Clock() int64 {
 	return time.Now().UnixNano()
 }
 
-func (r *Recorder) sealLocked(t *Track) {
-	t.cur.End = r.now
+func (r *Recorder) sealLocked(t *Track) { r.sealAtLocked(t, r.now) }
+
+// sealAtLocked closes t's open window at virtual time end and opens the
+// next one there. Tick-driven recording always seals at r.now (which
+// sits exactly on a window boundary when Tick calls it); vt-driven
+// recording seals at explicit boundaries.
+func (r *Recorder) sealAtLocked(t *Track, end uint64) {
+	t.cur.End = end
 	if len(t.ring) < r.cfg.MaxWindows {
 		t.ring = append(t.ring, t.cur)
 	} else {
@@ -260,7 +266,21 @@ func (r *Recorder) sealLocked(t *Track) {
 		t.wrapped = true
 		t.dropped++
 	}
-	t.cur = Window{Start: r.now}
+	t.cur = Window{Start: end}
+}
+
+// advanceTrackLocked seals every window boundary t crosses on the way
+// to virtual time vt. Track starts are always boundary-aligned in
+// vt-driven recording (they begin at 0 and every seal lands on a
+// multiple of the window length), so the loop emits exactly the same
+// window sequence a Tick-driven recorder would, empty windows included
+// — which is what keeps window dumps a pure function of the event
+// stream.
+func (r *Recorder) advanceTrackLocked(t *Track, vt uint64) {
+	w := uint64(r.cfg.Window)
+	for vt >= t.cur.Start+w {
+		r.sealAtLocked(t, t.cur.Start+w)
+	}
 }
 
 func (r *Recorder) eventLocked(e Event) {
@@ -337,6 +357,63 @@ func (r *Recorder) Degrade(t *Track, resendBits int) {
 	t.cur.DecodeErrors++
 	t.cur.RawFallbacks++
 	r.eventLocked(Event{Kind: EvDegrade, Track: t.index, Bits: uint32(resendBits)})
+	r.mu.Unlock()
+}
+
+// The *At methods below are the explicit-virtual-time feeding API used
+// by the discrete-event topology engine (internal/topo): instead of a
+// global Tick per simulated access, each per-link track advances to
+// the event's own completion time, so tracks with very different
+// traffic rates still seal identical window grids. They are
+// window-only — no timeline events are emitted — because the topology
+// engine records during its serial timing-replay pass, where windows
+// are the deliverable and a 10M-transfer soak would cycle the event
+// ring thousands of times over for nothing.
+
+// TransferAt records one line transfer on t at virtual time vt,
+// sealing any window boundaries crossed since t's previous event.
+// Per-track vt must be monotonically non-decreasing.
+func (r *Recorder) TransferAt(t *Track, vt uint64, sourceBits, wireBits int, toggles uint64) {
+	r.mu.Lock()
+	r.advanceTrackLocked(t, vt)
+	t.cur.Transfers++
+	t.cur.SourceBits += uint64(sourceBits)
+	t.cur.WireBits += uint64(wireBits)
+	t.cur.Toggles += toggles
+	r.mu.Unlock()
+}
+
+// FaultAt records an injector-corrupted wire image on t at virtual
+// time vt (window-only; no timeline event).
+func (r *Recorder) FaultAt(t *Track, vt uint64) {
+	r.mu.Lock()
+	r.advanceTrackLocked(t, vt)
+	t.cur.Faults++
+	r.mu.Unlock()
+}
+
+// DegradeAt records a decode error recovered by a raw resend on t at
+// virtual time vt (window-only; no timeline event).
+func (r *Recorder) DegradeAt(t *Track, vt uint64) {
+	r.mu.Lock()
+	r.advanceTrackLocked(t, vt)
+	t.cur.DecodeErrors++
+	t.cur.RawFallbacks++
+	r.mu.Unlock()
+}
+
+// AdvanceTo seals every track's crossed window boundaries through vt
+// and moves the recorder clock forward to vt (never backward), so the
+// final partial window in a Dump ends at the simulation's makespan.
+// Callers finish a vt-driven recording with one AdvanceTo(makespan).
+func (r *Recorder) AdvanceTo(vt uint64) {
+	r.mu.Lock()
+	for _, t := range r.tracks {
+		r.advanceTrackLocked(t, vt)
+	}
+	if vt > r.now {
+		r.now = vt
+	}
 	r.mu.Unlock()
 }
 

@@ -222,3 +222,51 @@ func (c TimingConfig) Digest() Digest {
 	d.faultConfig(c.Fault)
 	return d.sum()
 }
+
+// Digester is the exported form of the canonical config digester, for
+// simulator packages that live outside sim (internal/topo) but whose
+// cells share the experiments' memo map. The folding primitives are
+// the same stable encodings the sim digests use, so cross-package
+// digests can never alias: every digest starts with a version-tagged
+// string ("topo/v1", "memlink/v1", ...) and the length-prefixed string
+// encoding keeps field concatenations unambiguous.
+type Digester struct {
+	d digester
+}
+
+// NewDigester starts a canonical digest stream tagged with a format
+// version string (e.g. "topo/v1").
+func NewDigester(version string) *Digester {
+	d := &Digester{d: newDigester()}
+	d.Str(version)
+	return d
+}
+
+// Str folds in a length-prefixed string.
+func (d *Digester) Str(s string) { d.d.str(s) }
+
+// Int folds in an int.
+func (d *Digester) Int(v int) { d.d.i(v) }
+
+// U64 folds in a uint64.
+func (d *Digester) U64(v uint64) { d.d.u64(v) }
+
+// F64 folds in a float64 (by bit pattern).
+func (d *Digester) F64(v float64) { d.d.f64(v) }
+
+// Bool folds in a bool.
+func (d *Digester) Bool(v bool) { d.d.bool(v) }
+
+// LinkConfig folds in a link configuration with the canonical field
+// order shared by every sim digest.
+func (d *Digester) LinkConfig(c link.Config) { d.d.linkConfig(c) }
+
+// CoreConfig folds in a CABLE core configuration (Metrics excluded:
+// observation-only).
+func (d *Digester) CoreConfig(c core.Config) { d.d.coreConfig(c) }
+
+// FaultConfig folds in a fault-injection configuration.
+func (d *Digester) FaultConfig(c fault.Config) { d.d.faultConfig(c) }
+
+// Sum finalizes the 128-bit digest.
+func (d *Digester) Sum() Digest { return d.d.sum() }

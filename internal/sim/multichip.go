@@ -3,7 +3,9 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
+	"cable/internal/bits"
 	"cable/internal/cache"
 	"cable/internal/compress"
 	"cable/internal/core"
@@ -127,13 +129,14 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	reqLLC := cache.New(cache.Config{Name: "llc0", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
 	cableCfg := cfg.Cable
 	var pool *core.SuperWMT
+	var geom *cache.Cache
 	if cfg.PooledWMT {
 		cableCfg.WritebackCompression = false
 		factor := cfg.PooledWMTFactor
 		if factor <= 0 {
 			factor = 0.5
 		}
-		geom := cache.New(cache.Config{Name: "geom", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
+		geom = cache.New(cache.Config{Name: "geom", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
 		pool = core.NewSuperWMT(int(float64(geom.NumLines())*factor), 4, geom, reqLLC)
 	}
 	links := make([]*coherenceLink, cfg.Nodes) // index by home node; [0] unused
@@ -176,15 +179,20 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	// rawResend recovers a failed decode with an uncompressed raw
 	// re-transfer (delivered clean — a fresh transmission, not a replay
 	// of the corrupted image), charged on top of the failed attempt.
+	// mw is the run's marshal scratch: every wire image is consumed
+	// (sent + corrupted + unmarshaled) before the next marshal, so one
+	// buffer serves the whole serial access loop instead of allocating
+	// per transfer.
+	var mw bits.Writer
 	rawResend := func(cl *coherenceLink, data []byte, ackSeq uint64) int {
 		res.RawFallbacks++
 		degrade().rawFallbacks.Inc(dshard)
 		p := core.Payload{Raw: data, AckSeq: ackSeq}
 		var enc compress.Encoded
 		if injector != nil {
-			enc = p.MarshalGuarded(reqLLC.IndexBits(), reqLLC.WayBits())
+			enc = p.MarshalGuardedInto(&mw, reqLLC.IndexBits(), reqLLC.WayBits())
 		} else {
-			enc = p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+			enc = p.MarshalInto(&mw, reqLLC.IndexBits(), reqLLC.WayBits())
 		}
 		wire := cl.lnk.SendWire(enc.Data, enc.NBits)
 		if rec != nil {
@@ -197,7 +205,7 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	// accounting contract.
 	corruptAndDecode := func(cl *coherenceLink, p core.Payload, want []byte, lineAddr uint64,
 		decode func(core.Payload) ([]byte, error)) (wire int, derr error) {
-		enc := p.MarshalGuarded(reqLLC.IndexBits(), reqLLC.WayBits())
+		enc := p.MarshalGuardedInto(&mw, reqLLC.IndexBits(), reqLLC.WayBits())
 		wire = cl.lnk.SendWire(enc.Data, enc.NBits)
 		nb, corrupted := injector.Corrupt(enc.Data, enc.NBits)
 		var got []byte
@@ -229,7 +237,7 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		}
 		return wire, derr
 	}
-	writeVersions := map[uint64]uint32{}
+	writeVersions := writeVersionPool.Get().(map[uint64]uint32)
 	mutate := func(data []byte, addr uint64) {
 		v := writeVersions[addr]
 		writeVersions[addr] = v + 1
@@ -276,7 +284,7 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 				if err == nil && cfg.Verify && !bytes.Equal(got, ev.Data) {
 					panic(fmt.Sprintf("sim: multichip WB corrupted %#x", ev.LineAddr))
 				}
-				enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+				enc := p.MarshalInto(&mw, reqLLC.IndexBits(), reqLLC.WayBits())
 				wire = cl.lnk.SendWire(enc.Data, enc.NBits)
 				if err != nil {
 					res.DecodeErrors++
@@ -397,7 +405,7 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 			if derr == nil && cfg.Verify && !bytes.Equal(data, want.Data) {
 				panic(fmt.Sprintf("sim: multichip fill corrupted %#x", a.LineAddr))
 			}
-			enc := p.Marshal(reqLLC.IndexBits(), reqLLC.WayBits())
+			enc := p.MarshalInto(&mw, reqLLC.IndexBits(), reqLLC.WayBits())
 			wire = cl.lnk.SendWire(enc.Data, enc.NBits)
 			if derr != nil {
 				res.DecodeErrors++
@@ -440,5 +448,29 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	for name, t := range meterTotals {
 		res.Total[name] = *t
 	}
+
+	// Recycle the run's directory state: the write-version map returns to
+	// its pool and every cache backing and CABLE-end table goes back to
+	// the shared pools, so sweeps that run many multichip cells stop
+	// re-growing the same multi-megabyte allocations per cell.
+	clear(writeVersions)
+	writeVersionPool.Put(writeVersions)
+	for h := 1; h < cfg.Nodes; h++ {
+		links[h].he.Release()
+		links[h].re.Release()
+		links[h].homeLLC.Release()
+	}
+	reqLLC.Release()
+	if geom != nil {
+		geom.Release()
+	}
 	return res, nil
+}
+
+// writeVersionPool recycles the per-run write-version maps (address →
+// mutation count). A full run touches tens of thousands of addresses,
+// so rebuilding the map each cell was a measurable slice of multichip
+// sweep allocations.
+var writeVersionPool = sync.Pool{
+	New: func() interface{} { return make(map[uint64]uint32, 1<<12) },
 }

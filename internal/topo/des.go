@@ -1,0 +1,391 @@
+package topo
+
+import (
+	"container/heap"
+
+	"cable/internal/obs"
+	"cable/internal/workload"
+)
+
+// This file is the discrete-event core shared by the schedule pass
+// (raw service times, records the per-link transfer sequences) and the
+// replay pass (measured CABLE service times, records timing and flight
+// windows). Determinism rules:
+//
+//   - The event queue is a container/heap ordered by (time, seq): seq
+//     is a monotonically increasing push counter, so simultaneous
+//     events pop in push order. No map iteration, no randomness —
+//     event order is a pure function of the config.
+//   - Every server (one encoder per chip, one wire per directed link)
+//     is FIFO: arrivals queue in event-pop order and are served in
+//     queue order.
+//
+// Virtual time is in link cycles.
+
+// Event kinds.
+const (
+	evInject   = iota // next arrival (id = chip in schedule mode)
+	evArrive          // hop lands at a chip's encoder queue (id = chip)
+	evEncDone         // chip encoder finishes a transfer (id = chip)
+	evWireDone        // link wire finishes a transfer (id = link)
+)
+
+// refNone marks an idle server.
+const refNone = ^uint64(0)
+
+// pack/unpack a hop reference: message index << 8 | hop position.
+// Routes are at most chips-1 hops, far under 256.
+func packRef(msg int, hop int) uint64 { return uint64(msg)<<8 | uint64(hop) }
+func unpackRef(ref uint64) (msg, hop int) {
+	return int(ref >> 8), int(ref & 0xFF)
+}
+
+type event struct {
+	at   uint64
+	seq  uint64
+	kind uint8
+	id   int32
+	ref  uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// fifo is a ref queue that remembers each entry's arrival time (for
+// queue-delay accounting). Amortized O(1); storage is compacted when
+// the dead prefix dominates.
+type fifo struct {
+	refs []uint64
+	ats  []uint64
+	head int
+}
+
+func (q *fifo) empty() bool { return q.head == len(q.refs) }
+
+func (q *fifo) push(ref, at uint64) {
+	if q.head > 1024 && q.head*2 > len(q.refs) {
+		n := copy(q.refs, q.refs[q.head:])
+		copy(q.ats, q.ats[q.head:])
+		q.refs = q.refs[:n]
+		q.ats = q.ats[:n]
+		q.head = 0
+	}
+	q.refs = append(q.refs, ref)
+	q.ats = append(q.ats, at)
+}
+
+func (q *fifo) pop() (ref, at uint64) {
+	ref, at = q.refs[q.head], q.ats[q.head]
+	q.head++
+	return ref, at
+}
+
+// schedule is the pass-1 product: the frozen per-link transfer
+// sequences plus the flattened message/hop tables that let the replay
+// pass re-drive the identical traffic without generators or routing.
+type schedule struct {
+	// linkAddrs[L][k] is the line address of link L's k-th transfer.
+	linkAddrs [][]uint64
+	// wireBits[L][k] is the measured on-wire size in bits (filled by
+	// the encode pass; includes raw-resend recovery bits).
+	wireBits [][]int32
+	// recToggles/recFlags are per-transfer recording sidecars,
+	// allocated only when a flight recorder is attached. Flag bit 0 =
+	// injector corrupted the image, bit 1 = decode degraded to a raw
+	// resend.
+	recToggles [][]uint32
+	recFlags   [][]uint8
+
+	// Flattened messages: message m's hops occupy
+	// hopLink/hopIdx[msgOff[m]:msgOff[m+1]]. hopIdx[j] is the hop's
+	// entry index on its link (assigned in pass-1 wire-arrival order).
+	msgAddr   []uint64
+	msgSrc    []int32
+	msgInject []uint64
+	msgOff    []int32
+	hopLink   []int32
+	hopIdx    []int32
+
+	// accesses/local count generator draws and same-chip hits.
+	accesses uint64
+	local    uint64
+}
+
+const (
+	flagFault   = 1 << 0
+	flagDegrade = 1 << 1
+)
+
+// engine is the per-run DES state shared by both passes.
+type engine struct {
+	cfg   Config
+	topo  *Topology
+	sched *schedule
+
+	// rawCycles is the raw-baseline wire occupancy per transfer: a
+	// full uncompressed line plus a fixed 32-bit header allowance.
+	rawCycles uint64
+
+	heap    eventHeap
+	seq     uint64
+	encCur  []uint64 // per chip: ref in the encoder, refNone if idle
+	encQ    []fifo
+	wireCur []uint64 // per link: ref on the wire, refNone if idle
+	wireQ   []fifo
+	wireSvc []uint64 // per link: service length of the ref on the wire
+}
+
+// passStats is one DES pass's timing outcome.
+type passStats struct {
+	makespan  uint64
+	busy      []uint64 // per link: cycles the wire was occupied
+	queueWait []uint64 // per link: total wire-queue waiting cycles
+}
+
+func newEngine(cfg Config, t *Topology) *engine {
+	e := &engine{
+		cfg: cfg, topo: t,
+		sched:   &schedule{linkAddrs: make([][]uint64, len(t.links))},
+		encCur:  make([]uint64, cfg.Chips),
+		encQ:    make([]fifo, cfg.Chips),
+		wireCur: make([]uint64, len(t.links)),
+		wireQ:   make([]fifo, len(t.links)),
+		wireSvc: make([]uint64, len(t.links)),
+	}
+	w := cfg.Link.WidthBits
+	e.rawCycles = uint64((64*8 + rawHeaderBits + w - 1) / w)
+	return e
+}
+
+// rawHeaderBits is the fixed per-transfer framing allowance charged to
+// the raw baseline (address/route/ack fields a real message carries).
+const rawHeaderBits = 32
+
+func (e *engine) push(at uint64, kind uint8, id int32, ref uint64) {
+	e.seq++
+	heap.Push(&e.heap, event{at: at, seq: e.seq, kind: kind, id: id, ref: ref})
+}
+
+// reset clears the server and queue state between passes.
+func (e *engine) reset() {
+	e.heap = e.heap[:0]
+	e.seq = 0
+	for i := range e.encCur {
+		e.encCur[i] = refNone
+		e.encQ[i] = fifo{}
+	}
+	for i := range e.wireCur {
+		e.wireCur[i] = refNone
+		e.wireQ[i] = fifo{}
+		e.wireSvc[i] = 0
+	}
+}
+
+// hopOf returns message m's hop-h flattened index.
+func (s *schedule) hopOf(m, h int) int { return int(s.msgOff[m]) + h }
+
+// routeLen returns message m's hop count.
+func (s *schedule) routeLen(m int) int { return int(s.msgOff[m+1] - s.msgOff[m]) }
+
+// simulate runs one DES pass. In schedule mode (record=true) it drives
+// the per-chip arrival processes with gens, records every message and
+// assigns per-link entry indices in wire-arrival order, and serves
+// every wire transfer at the raw-baseline cost. In replay mode it
+// re-injects the recorded messages at their recorded times and serves
+// each transfer at its measured compressed cost, optionally feeding
+// per-link flight tracks at wire-completion virtual times.
+func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Recorder, tracks []*obs.Track) passStats {
+	e.reset()
+	s := e.sched
+	ps := passStats{
+		busy:      make([]uint64, len(e.topo.links)),
+		queueWait: make([]uint64, len(e.topo.links)),
+	}
+
+	// svc returns the wire occupancy of ref's current hop.
+	w := uint64(e.cfg.Link.WidthBits)
+	svc := func(ref uint64) uint64 {
+		if record {
+			return e.rawCycles
+		}
+		m, h := unpackRef(ref)
+		L := s.hopLink[s.hopOf(m, h)]
+		bits := uint64(s.wireBits[L][s.hopIdx[s.hopOf(m, h)]])
+		cyc := (bits + w - 1) / w
+		if cyc == 0 {
+			cyc = 1
+		}
+		return cyc
+	}
+
+	startWire := func(L int32, ref, at uint64) {
+		c := svc(ref)
+		e.wireCur[L] = ref
+		e.wireSvc[L] = c
+		ps.busy[L] += c
+		e.push(at+c, evWireDone, L, 0)
+	}
+	enqueueWire := func(L int32, ref, at uint64) {
+		if record {
+			// Assign the hop its frozen per-link entry index: FIFO
+			// wire queues serve in arrival order, so arrival order IS
+			// the order the link's CABLE pipeline sees transfers.
+			m, h := unpackRef(ref)
+			k := int32(len(s.linkAddrs[L]))
+			s.linkAddrs[L] = append(s.linkAddrs[L], s.msgAddr[m])
+			s.hopIdx[s.hopOf(m, h)] = k
+		}
+		if e.wireCur[L] == refNone {
+			startWire(L, ref, at)
+		} else {
+			e.wireQ[L].push(ref, at)
+		}
+	}
+	enqueueEnc := func(c int32, ref, at uint64) {
+		if e.encCur[c] == refNone {
+			e.encCur[c] = ref
+			e.push(at+uint64(e.cfg.EncodeCycles), evEncDone, c, 0)
+		} else {
+			e.encQ[c].push(ref, at)
+		}
+	}
+
+	// Arrival-process state (schedule mode only).
+	var gapState []uint64
+	plannedHops := 0
+	stopInject := false
+	if record {
+		gapState = make([]uint64, e.cfg.Chips)
+		for c := range gapState {
+			st := e.cfg.Seed + uint64(c)*0x9E3779B97F4A7C15
+			gapState[c] = splitmix64(&st)
+		}
+	}
+	gap := func(c int32) uint64 {
+		u := splitmix64(&gapState[c])
+		return 1 + u%uint64(2*e.cfg.MeanGap-1)
+	}
+	// replayNext walks the recorded messages in creation order (which
+	// is inject-time order — pass-1 pops events time-sorted).
+	replayNext := 0
+
+	// Seed the queue.
+	if record {
+		for c := 0; c < e.cfg.Chips; c++ {
+			e.push(gap(int32(c)), evInject, int32(c), 0)
+		}
+	} else if len(s.msgAddr) > 0 {
+		e.push(s.msgInject[0], evInject, -1, 0)
+	}
+
+	var routeBuf []int32
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		t := ev.at
+		if t > ps.makespan {
+			ps.makespan = t
+		}
+		switch ev.kind {
+		case evInject:
+			if record {
+				c := ev.id
+				s.accesses++
+				a := gens[c].Next()
+				dst := int32((a.LineAddr / e.cfg.PageLines) % uint64(e.cfg.Chips))
+				if dst == c {
+					s.local++
+				} else {
+					routeBuf = e.topo.route(int(c), int(dst), routeBuf[:0])
+					m := len(s.msgAddr)
+					s.msgAddr = append(s.msgAddr, a.LineAddr)
+					s.msgSrc = append(s.msgSrc, c)
+					s.msgInject = append(s.msgInject, t)
+					if len(s.msgOff) == 0 {
+						s.msgOff = append(s.msgOff, 0)
+					}
+					s.hopLink = append(s.hopLink, routeBuf...)
+					s.hopIdx = append(s.hopIdx, make([]int32, len(routeBuf))...)
+					s.msgOff = append(s.msgOff, int32(len(s.hopLink)))
+					plannedHops += len(routeBuf)
+					enqueueEnc(c, packRef(m, 0), t)
+					if plannedHops >= e.cfg.Transfers {
+						stopInject = true
+					}
+				}
+				if !stopInject {
+					e.push(t+gap(c), evInject, c, 0)
+				}
+			} else {
+				m := replayNext
+				enqueueEnc(s.msgSrc[m], packRef(m, 0), t)
+				replayNext++
+				if replayNext < len(s.msgAddr) {
+					e.push(s.msgInject[replayNext], evInject, -1, 0)
+				}
+			}
+
+		case evArrive:
+			enqueueEnc(ev.id, ev.ref, t)
+
+		case evEncDone:
+			c := ev.id
+			ref := e.encCur[c]
+			if !e.encQ[c].empty() {
+				next, _ := e.encQ[c].pop()
+				e.encCur[c] = next
+				e.push(t+uint64(e.cfg.EncodeCycles), evEncDone, c, 0)
+			} else {
+				e.encCur[c] = refNone
+			}
+			m, h := unpackRef(ref)
+			enqueueWire(s.hopLink[s.hopOf(m, h)], ref, t)
+
+		case evWireDone:
+			L := ev.id
+			ref := e.wireCur[L]
+			if !e.wireQ[L].empty() {
+				next, arrived := e.wireQ[L].pop()
+				ps.queueWait[L] += t - arrived
+				startWire(L, next, t)
+			} else {
+				e.wireCur[L] = refNone
+			}
+			m, h := unpackRef(ref)
+			if rec != nil {
+				k := s.hopIdx[s.hopOf(m, h)]
+				bits := int(s.wireBits[L][k])
+				fl := s.recFlags[L][k]
+				if fl&flagFault != 0 {
+					rec.FaultAt(tracks[L], t)
+				}
+				if fl&flagDegrade != 0 {
+					rec.DegradeAt(tracks[L], t)
+				}
+				rec.TransferAt(tracks[L], t, 64*8, bits, uint64(s.recToggles[L][k]))
+			}
+			if h+1 < s.routeLen(m) {
+				e.push(t+uint64(e.cfg.HopCycles), evArrive, e.topo.links[L].dst, packRef(m, h+1))
+			}
+		}
+	}
+	if rec != nil {
+		rec.AdvanceTo(ps.makespan)
+	}
+	return ps
+}

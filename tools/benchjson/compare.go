@@ -52,8 +52,10 @@ func runCompare(args []string, out, errw io.Writer) int {
 	}
 
 	matches, oldOnly, newOnly := matchResults(oldF.Results, newF.Results)
-	if len(matches) == 0 {
-		fmt.Fprintln(errw, "benchjson: no benchmarks in common — nothing to compare")
+	if len(oldF.Results) == 0 || len(newF.Results) == 0 {
+		// An empty snapshot means the bench run itself produced nothing —
+		// that is a broken input, not a benign disjoint set.
+		fmt.Fprintf(errw, "benchjson: %s has no benchmark results\n", pickEmpty(paths, oldF, newF))
 		return 2
 	}
 
@@ -71,18 +73,39 @@ func runCompare(args []string, out, errw io.Writer) int {
 		}
 		fmt.Fprintf(out, "%-44s %12.1f %12.1f %+8.1f%%%s\n", m.name, m.oldNs, m.newNs, delta, mark)
 	}
-	for _, n := range oldOnly {
-		fmt.Fprintf(out, "%-44s %12s (only in %s)\n", n, "-", paths[0])
-	}
+	// Unmatched benchmarks are reported but never gate: snapshots grow
+	// new benchmarks (and retire old ones) every PR, and a gate that
+	// errors on them would force lockstep snapshot updates.
 	for _, n := range newOnly {
-		fmt.Fprintf(out, "%-44s %12s (only in %s)\n", n, "-", paths[1])
+		fmt.Fprintf(out, "%-44s new (not in %s)\n", n, paths[0])
+	}
+	for _, n := range oldOnly {
+		fmt.Fprintf(out, "%-44s removed (not in %s)\n", n, paths[1])
 	}
 	if failed > 0 {
 		fmt.Fprintf(errw, "benchjson: %d benchmark(s) regressed by more than %.0f%%\n", failed, maxRegress)
 		return 1
 	}
-	fmt.Fprintf(out, "ok: %d benchmark(s) within %.0f%% of %s\n", len(matches), maxRegress, paths[0])
+	switch {
+	case len(matches) == 0:
+		fmt.Fprintf(out, "ok: no benchmarks in common (%d new, %d removed) — nothing gated\n", len(newOnly), len(oldOnly))
+	default:
+		fmt.Fprintf(out, "ok: %d benchmark(s) within %.0f%% of %s (%d new, %d removed)\n",
+			len(matches), maxRegress, paths[0], len(newOnly), len(oldOnly))
+	}
 	return 0
+}
+
+// pickEmpty names the snapshot(s) with no results for the error path.
+func pickEmpty(paths []string, oldF, newF *benchFile) string {
+	switch {
+	case len(oldF.Results) == 0 && len(newF.Results) == 0:
+		return paths[0] + " and " + paths[1]
+	case len(oldF.Results) == 0:
+		return paths[0]
+	default:
+		return paths[1]
+	}
 }
 
 func loadBenchFile(path string) (*benchFile, error) {

@@ -40,7 +40,12 @@ func TestComparePassAndFail(t *testing.T) {
 	if code := runCompare([]string{oldPath, newOK, "-max-regress", "10"}, &out, &errw); code != 0 {
 		t.Fatalf("exit %d, stderr %s", code, errw.String())
 	}
-	for _, want := range []string{"BenchmarkEncodeFill", "-20.0%", "+8.0%", "BenchmarkGone", "BenchmarkNew"} {
+	for _, want := range []string{
+		"BenchmarkEncodeFill", "-20.0%", "+8.0%",
+		"BenchmarkGone", "removed (not in " + newOK + ")",
+		"BenchmarkNew", "new (not in " + oldPath + ")",
+		"1 new, 1 removed",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
@@ -65,6 +70,30 @@ func TestComparePassAndFail(t *testing.T) {
 	}
 }
 
+// TestCollapseMin pins the -count N folding: repeated samples of one
+// benchmark keep the fastest, distinct benchmarks (and the same base
+// name at different -cpu points) stay separate, and first-appearance
+// order survives.
+func TestCollapseMin(t *testing.T) {
+	in := []benchResult{
+		{Name: "BenchmarkA", Pkg: "p", Cpus: 1, NsPerOp: 300},
+		{Name: "BenchmarkB", Pkg: "p", Cpus: 1, NsPerOp: 50},
+		{Name: "BenchmarkA", Pkg: "p", Cpus: 1, NsPerOp: 100, Iterations: 7},
+		{Name: "BenchmarkA-4", Pkg: "p", Cpus: 4, NsPerOp: 80},
+		{Name: "BenchmarkA", Pkg: "p", Cpus: 1, NsPerOp: 200},
+	}
+	got := collapseMin(in)
+	if len(got) != 3 {
+		t.Fatalf("collapsed to %d results, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkA" || got[0].NsPerOp != 100 || got[0].Iterations != 7 {
+		t.Fatalf("min sample not kept whole: %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkB" || got[2].Name != "BenchmarkA-4" {
+		t.Fatalf("order or distinct names lost: %+v", got)
+	}
+}
+
 func TestCompareUsageErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := runCompare([]string{"only-one.json"}, &out, &errw); code != 2 {
@@ -77,26 +106,59 @@ func TestCompareUsageErrors(t *testing.T) {
 		t.Fatalf("missing file: exit %d, want 2", code)
 	}
 	dir := t.TempDir()
+	empty := writeBench(t, dir, "empty.json", nil)
+	a := writeBench(t, dir, "a.json", []benchResult{{Name: "BenchmarkA", Cpus: 1, NsPerOp: 1}})
+	if code := runCompare([]string{empty, a}, &out, &errw); code != 2 {
+		t.Fatalf("empty old snapshot: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{a, empty}, &out, &errw); code != 2 {
+		t.Fatalf("empty new snapshot: exit %d, want 2", code)
+	}
+}
+
+// TestCompareDisjointSets pins the renamed-world case: two valid
+// snapshots with no benchmarks in common pass the gate, reporting
+// everything as new/removed. A fully rewritten bench suite must not
+// break CI just because nothing matched.
+func TestCompareDisjointSets(t *testing.T) {
+	dir := t.TempDir()
 	a := writeBench(t, dir, "a.json", []benchResult{{Name: "BenchmarkA", Cpus: 1, NsPerOp: 1}})
 	b := writeBench(t, dir, "b.json", []benchResult{{Name: "BenchmarkB", Cpus: 1, NsPerOp: 1}})
-	if code := runCompare([]string{a, b}, &out, &errw); code != 2 {
-		t.Fatalf("disjoint sets: exit %d, want 2", code)
+	var out, errw bytes.Buffer
+	if code := runCompare([]string{a, b}, &out, &errw); code != 0 {
+		t.Fatalf("disjoint sets: exit %d, want 0 (stderr %s)", code, errw.String())
+	}
+	for _, want := range []string{"BenchmarkB", "new (not in " + a + ")", "BenchmarkA", "removed (not in " + b + ")", "no benchmarks in common"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 
 // TestCompareRealSnapshots pins the committed BENCH files the CI gate
-// runs against: they must stay comparable.
+// runs against: each adjacent pair must stay comparable.
 func TestCompareRealSnapshots(t *testing.T) {
-	for _, p := range []string{"../../BENCH_pr5.json", "../../BENCH_pr6.json"} {
-		if _, err := os.Stat(p); err != nil {
-			t.Skipf("snapshot missing: %v", err)
+	pairs := [][2]string{
+		{"../../BENCH_pr5.json", "../../BENCH_pr6.json"},
+		{"../../BENCH_pr6.json", "../../BENCH_pr8.json"},
+	}
+	for _, pair := range pairs {
+		skip := false
+		for _, p := range pair {
+			if _, err := os.Stat(p); err != nil {
+				t.Logf("snapshot missing, skipping pair: %v", err)
+				skip = true
+			}
 		}
-	}
-	var out, errw bytes.Buffer
-	if code := runCompare([]string{"../../BENCH_pr5.json", "../../BENCH_pr6.json", "-max-regress", "10"}, &out, &errw); code != 0 {
-		t.Fatalf("pr5→pr6 gate failed (%d):\n%s%s", code, out.String(), errw.String())
-	}
-	if !strings.Contains(out.String(), "BenchmarkEncodeFill") {
-		t.Fatalf("shared benchmark not compared:\n%s", out.String())
+		if skip {
+			continue
+		}
+		var out, errw bytes.Buffer
+		if code := runCompare([]string{pair[0], pair[1], "-max-regress", "10"}, &out, &errw); code != 0 {
+			t.Fatalf("%s→%s gate failed (%d):\n%s%s", pair[0], pair[1], code, out.String(), errw.String())
+		}
+		if !strings.Contains(out.String(), "BenchmarkEncodeFill") {
+			t.Fatalf("shared benchmark not compared:\n%s", out.String())
+		}
 	}
 }

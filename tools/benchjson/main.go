@@ -48,6 +48,9 @@ type benchResult struct {
 	// name) also ran at 1 cpu: ns@1cpu / ns@Ncpu, and that divided by N.
 	Speedup    float64 `json:"speedup,omitempty"`
 	Efficiency float64 `json:"efficiency,omitempty"`
+	// Extra holds custom b.ReportMetric units (the mesh soak's
+	// transfers/s), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type benchFile struct {
@@ -63,6 +66,7 @@ var (
 	bytesOp    = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsOp   = regexp.MustCompile(`(\d+) allocs/op`)
 	throughput = regexp.MustCompile(`([\d.]+) MB/s`)
+	metricPair = regexp.MustCompile(`([\d.]+) ([A-Za-z][^\s]*)`)
 	cpuSuffix  = regexp.MustCompile(`^(.+)-(\d+)$`)
 )
 
@@ -75,6 +79,29 @@ func splitCPU(name string) (base string, cpus int) {
 		}
 	}
 	return name, 1
+}
+
+// collapseMin folds repeated `-count N` samples of the same benchmark
+// into the fastest one. Minimum-of-N is the noise-robust estimator for
+// benchmark timing: scheduler preemption and frequency scaling only
+// ever add time, so on a shared VM the minimum tracks the code while
+// the mean tracks the neighbours. First-appearance order is kept so
+// snapshots diff cleanly.
+func collapseMin(results []benchResult) []benchResult {
+	seen := map[string]int{}
+	collapsed := make([]benchResult, 0, len(results))
+	for _, r := range results {
+		key := r.Pkg + " " + r.Name
+		if i, ok := seen[key]; ok {
+			if r.NsPerOp < collapsed[i].NsPerOp {
+				collapsed[i] = r
+			}
+			continue
+		}
+		seen[key] = len(collapsed)
+		collapsed = append(collapsed, r)
+	}
+	return collapsed
 }
 
 func main() {
@@ -115,12 +142,30 @@ func main() {
 		if tm := throughput.FindStringSubmatch(line); tm != nil {
 			r.MBPerSec, _ = strconv.ParseFloat(tm[1], 64)
 		}
+		// Everything after the ns/op column is `value unit` pairs; the
+		// units the struct doesn't already carry came from
+		// b.ReportMetric and go into Extra verbatim.
+		for _, pm := range metricPair.FindAllStringSubmatch(line[len(m[0]):], -1) {
+			switch pm[2] {
+			case "ns/op", "MB/s", "B/op", "allocs/op":
+				continue
+			}
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				continue
+			}
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[pm[2]] = v
+		}
 		out.Results = append(out.Results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	out.Results = collapseMin(out.Results)
 
 	// Baselines: first 1-cpu result per (pkg, base name).
 	base1 := map[string]float64{}
