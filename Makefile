@@ -25,6 +25,7 @@ check:
 	go test -race -count=1 -run 'FaultSoak|FaultDeterminism|ZeroRateInert' ./internal/sim
 	go test -run=NOTHING -fuzz=FuzzPayloadDecodeFaults -fuzztime=10s ./internal/core
 	go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
+	go test -run=NOTHING -fuzz=FuzzParseSpec -fuzztime=10s ./internal/workload/spec
 	GOMAXPROCS=2 go test -race -run TestParallelDeterminism -count=1 ./internal/experiments
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	go run ./cmd/cablesim -exp fig12 -quick -parallel 1 -windows "$$tmp/w1.json" -timeline "$$tmp/t1.json" >/dev/null && \
@@ -38,6 +39,15 @@ check:
 	go run ./cmd/cablesim -exp mesh -quick -parallel 1 -metrics "$$tmp/mm1.json" >"$$tmp/m1.txt" && \
 	go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 -metrics "$$tmp/mm8.json" >"$$tmp/m8.txt" && \
 	cmp "$$tmp/m1.txt" "$$tmp/m8.txt" && cmp "$$tmp/mm1.json" "$$tmp/mm8.json"
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go run ./cmd/cabletrace -spec examples/workloads/bursty-mix.json -n 24000 -o "$$tmp/mix" >/dev/null && \
+	go run ./cmd/cablesim -exp workload -quick -parallel 1 -workload-spec examples/workloads/bursty-mix.json | grep -v '^note:' >"$$tmp/wl-live.txt" && \
+	go run ./cmd/cablesim -exp workload -quick -parallel 8 -nomemo -gomaxprocs 2 -workload-spec examples/workloads/bursty-mix.json \
+		-replay "$$tmp/mix.frontend.trace,$$tmp/mix.batch.trace" | grep -v '^note:' >"$$tmp/wl-replay.txt" && \
+	cmp "$$tmp/wl-live.txt" "$$tmp/wl-replay.txt" && \
+	go run ./cmd/cablesim -exp mesh -quick -parallel 1 -workload-spec examples/workloads/bursty-mix.json >"$$tmp/ms1.txt" && \
+	go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 -workload-spec examples/workloads/bursty-mix.json >"$$tmp/ms8.txt" && \
+	cmp "$$tmp/ms1.txt" "$$tmp/ms8.txt"
 	GOMAXPROCS=2 go test -race -count=1 -run 'TestRunDeterministicAcrossParallelism' ./internal/topo
 	CABLE_MESH_SOAK_TRANSFERS=1000000 go test -count=1 -run 'TestMeshSoak' ./internal/topo
 	go test -run=NOTHING -bench=. -benchtime=1x .

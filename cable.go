@@ -40,7 +40,9 @@ import (
 	"cable/internal/obs"
 	"cable/internal/sim"
 	"cable/internal/topo"
+	"cable/internal/trace"
 	"cable/internal/workload"
+	"cable/internal/workload/spec"
 )
 
 // Cache is a set-associative, coherent cache model; CABLE link ends
@@ -264,6 +266,31 @@ func DefaultTopologyConfig(benchmark string) TopologyConfig {
 func RunTopology(cfg TopologyConfig) (*TopologyResult, error) {
 	return topo.Run(cfg)
 }
+
+// WorkloadSpec is a declarative multi-client workload (JSON DSL): a
+// named mix of clients with rate fractions, arrival processes
+// (poisson, bursty, weibull — seeded and deterministic), per-client
+// content models and phase changes over virtual time. Feed one to the
+// simulators via ExperimentOptions.Workload,
+// MemoryLinkConfig.Workload or TopologyConfig.Workload.
+type WorkloadSpec = spec.Workload
+
+// ParseWorkloadSpec compiles a workload spec from its JSON encoding.
+func ParseWorkloadSpec(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
+
+// LoadWorkloadSpec reads and compiles a workload-spec JSON file (the
+// `-workload-spec` CLI flag; see examples/workloads).
+func LoadWorkloadSpec(path string) (*WorkloadSpec, error) { return spec.Load(path) }
+
+// RecordedTrace is a fully-loaded cabletrace capture: header plus
+// decoded accesses, replayable through the simulators via
+// ExperimentOptions.Replay and the sim/topo config Replay fields.
+type RecordedTrace = trace.Trace
+
+// LoadTrace reads a capture file written by cabletrace (or
+// spec.RecordClients); both the current CBLT0002 format and the legacy
+// CBLT0001 format load.
+func LoadTrace(path string) (*RecordedTrace, error) { return trace.Load(path) }
 
 // FaultConfig describes deterministic link fault injection (per-bit
 // flip rate, truncation rate, seed). The zero value injects nothing

@@ -50,6 +50,11 @@ echo "== bit-IO word/reference parity fuzz smoke"
 # bit/byte ops, truncated streams — images must stay byte-identical.
 go test -run=NOTHING -fuzz=FuzzBitsWordParity -fuzztime=10s ./internal/bits
 
+echo "== workload-spec parse fuzz smoke"
+# Short fuzz over the spec DSL parser: arbitrary JSON must produce
+# typed errors (ErrInvalid) or a valid workload, never a panic.
+go test -run=NOTHING -fuzz=FuzzParseSpec -fuzztime=10s ./internal/workload/spec
+
 echo "== fault-injected determinism (same seed+rate, any -parallel)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -85,6 +90,29 @@ go run ./cmd/cablesim -exp mesh -quick -parallel 1 -metrics "$tmpdir/mm1.json" >
 go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 -metrics "$tmpdir/mm8.json" >"$tmpdir/m8.txt"
 cmp "$tmpdir/m1.txt" "$tmpdir/m8.txt"
 cmp "$tmpdir/mm1.json" "$tmpdir/mm8.json"
+
+echo "== workload spec record -> replay -> compare smoke"
+# The record→replay contract at the CLI surface: capture the example
+# mix's per-client streams, replay them through the same spec at the
+# adversarial corner (8 workers, memo off, 2 OS threads), and demand
+# the identical ratio table as the serial memoized live run. Notes are
+# dropped from the comparison — they name the source mode.
+go run ./cmd/cabletrace -spec examples/workloads/bursty-mix.json -n 24000 -o "$tmpdir/mix" >/dev/null
+go run ./cmd/cablesim -exp workload -quick -parallel 1 \
+    -workload-spec examples/workloads/bursty-mix.json | grep -v '^note:' >"$tmpdir/wl-live.txt"
+go run ./cmd/cablesim -exp workload -quick -parallel 8 -nomemo -gomaxprocs 2 \
+    -workload-spec examples/workloads/bursty-mix.json \
+    -replay "$tmpdir/mix.frontend.trace,$tmpdir/mix.batch.trace" | grep -v '^note:' >"$tmpdir/wl-replay.txt"
+cmp "$tmpdir/wl-live.txt" "$tmpdir/wl-replay.txt"
+
+echo "== mesh workload-spec determinism (any -parallel, memo on/off)"
+# The same spec through the topology DES: bit-identical tables between
+# a serial memoized run and 8 workers, memo off, 2 OS threads.
+go run ./cmd/cablesim -exp mesh -quick -parallel 1 \
+    -workload-spec examples/workloads/bursty-mix.json >"$tmpdir/ms1.txt"
+go run ./cmd/cablesim -exp mesh -quick -parallel 8 -nomemo -gomaxprocs 2 \
+    -workload-spec examples/workloads/bursty-mix.json >"$tmpdir/ms8.txt"
+cmp "$tmpdir/ms1.txt" "$tmpdir/ms8.txt"
 
 echo "== mesh determinism under 2 workers (-race)"
 # Same contract at the engine level with the race detector watching the

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"cable"
@@ -51,6 +52,8 @@ func main() {
 	gomaxprocs := flag.Int("gomaxprocs", 0, "cap the Go scheduler's OS-thread parallelism before running (0 = keep the environment's GOMAXPROCS)")
 	topology := flag.String("topology", "", "interconnect shape for the mesh experiment: ring|mesh|star (default mesh)")
 	chips := flag.Int("chips", 0, "chip count for the mesh experiment (default 16; 8 in -quick)")
+	specFile := flag.String("workload-spec", "", "workload-spec JSON file driving the workload and mesh experiments")
+	replayFiles := flag.String("replay", "", "comma-separated cabletrace captures to replay through the workload and mesh experiments")
 	flag.Parse()
 
 	if *gomaxprocs > 0 {
@@ -100,6 +103,24 @@ func main() {
 		Fault:    cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
 		Topology: *topology, Chips: *chips,
 		Flight: flight,
+	}
+	if *specFile != "" {
+		spec, err := cable.LoadWorkloadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablereport: -workload-spec: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Workload = spec
+	}
+	if *replayFiles != "" {
+		for _, path := range strings.Split(*replayFiles, ",") {
+			t, err := cable.LoadTrace(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cablereport: -replay: %v\n", err)
+				os.Exit(1)
+			}
+			opt.Replay = append(opt.Replay, t)
+		}
 	}
 	srcBits := cable.MetricValue("core.source_bits")
 	total := time.Now()

@@ -12,6 +12,8 @@
 //	cablesim -exp fig12 -windows w.json  # dump the flight recorder's windowed time series
 //	cablesim -exp fig12 -timeline t.json # dump the event timeline (tools/traceexport input)
 //	cablesim -exp mesh -topology ring -chips 8  # N-chip topology scale-out
+//	cablesim -exp workload -workload-spec mix.json  # declarative multi-client mix
+//	cablesim -exp workload -replay a.trace,b.trace  # replay recorded captures
 //	cablesim -list                 # list experiment ids
 package main
 
@@ -21,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"cable"
@@ -43,6 +46,8 @@ func main() {
 	gomaxprocs := flag.Int("gomaxprocs", 0, "cap the Go scheduler's OS-thread parallelism before running (0 = keep the environment's GOMAXPROCS)")
 	topology := flag.String("topology", "", "interconnect shape for -exp mesh: ring|mesh|star (default mesh)")
 	chips := flag.Int("chips", 0, "chip count for -exp mesh (default 16; 8 in -quick)")
+	specFile := flag.String("workload-spec", "", "workload-spec JSON file driving -exp workload (memory link) or -exp mesh (one mix per chip)")
+	replayFiles := flag.String("replay", "", "comma-separated cabletrace captures to replay: program slots for -exp workload, one per chip for -exp mesh, per-client (with -workload-spec) for spec replay")
 	flag.Parse()
 
 	if *gomaxprocs > 0 {
@@ -81,6 +86,24 @@ func main() {
 		Fault:    cable.FaultConfig{BitRate: *faultRate, TruncRate: *faultTrunc, Seed: *faultSeed},
 		Topology: *topology, Chips: *chips,
 		Flight: flight,
+	}
+	if *specFile != "" {
+		w, err := cable.LoadWorkloadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: -workload-spec: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Workload = w
+	}
+	if *replayFiles != "" {
+		for _, path := range strings.Split(*replayFiles, ",") {
+			t, err := cable.LoadTrace(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cablesim: -replay: %v\n", err)
+				os.Exit(1)
+			}
+			opt.Replay = append(opt.Replay, t)
+		}
 	}
 	srcBits := cable.MetricValue("core.source_bits")
 	start := time.Now()

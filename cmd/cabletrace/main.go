@@ -3,6 +3,8 @@
 // Usage:
 //
 //	cabletrace -bench mcf -n 100000 -o mcf.trace   # record
+//	cabletrace -bench mcf -instance 3 -o mcf3.trace # record chip-3's stream
+//	cabletrace -spec mix.json -n 48000 -o mix       # record a spec's per-client streams
 //	cabletrace -stats mcf.trace                     # inspect a trace
 //	cabletrace -profile mcf -n 20000                # content profile
 //
@@ -15,18 +17,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"cable/internal/compress"
 	"cable/internal/sig"
 	"cable/internal/trace"
 	"cable/internal/workload"
+	"cable/internal/workload/spec"
 )
 
 func main() {
 	bench := flag.String("bench", "", "benchmark to record (see -list)")
 	n := flag.Int("n", 100000, "number of accesses")
-	out := flag.String("o", "", "output trace file")
+	out := flag.String("o", "", "output trace file (-spec: output prefix, one PREFIX.CLIENT.trace per client)")
+	instance := flag.Int("instance", 0, "generator instance to record with -bench (chip/program slot decorrelation)")
+	specFile := flag.String("spec", "", "workload-spec JSON file: record the mix's per-client streams")
 	statsFile := flag.String("stats", "", "trace file to summarize")
 	profile := flag.String("profile", "", "benchmark to content-profile")
 	list := flag.Bool("list", false, "list benchmarks")
@@ -50,12 +57,16 @@ func main() {
 		if err := profileBench(*profile, *n); err != nil {
 			fatal(err)
 		}
+	case *specFile != "" && *out != "":
+		if err := recordSpec(*specFile, *n, *out); err != nil {
+			fatal(err)
+		}
 	case *bench != "" && *out != "":
-		if err := record(*bench, *n, *out); err != nil {
+		if err := record(*bench, *instance, *n, *out); err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "cabletrace: need -list, -stats FILE, -profile BENCH, or -bench BENCH -o FILE")
+		fmt.Fprintln(os.Stderr, "cabletrace: need -list, -stats FILE, -profile BENCH, -bench BENCH -o FILE, or -spec FILE -o PREFIX")
 		os.Exit(2)
 	}
 }
@@ -65,8 +76,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func record(bench string, n int, out string) error {
-	gen, err := workload.New(bench, 0, 0)
+func record(bench string, instance, n int, out string) error {
+	gen, err := workload.New(bench, instance, 0)
 	if err != nil {
 		return err
 	}
@@ -78,7 +89,30 @@ func record(bench string, n int, out string) error {
 	if err := trace.Record(f, gen, n); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d accesses of %s to %s\n", n, bench, out)
+	fmt.Printf("recorded %d accesses of %s (instance %d) to %s\n", n, bench, instance, out)
+	return nil
+}
+
+// recordSpec runs a workload spec's live mix for n total accesses and
+// writes one capture per client (PREFIX.CLIENT.trace). Replaying the
+// set through the same spec (-workload-spec + -replay) reconstructs
+// the identical merged stream.
+func recordSpec(path string, n int, prefix string) error {
+	w, err := spec.Load(path)
+	if err != nil {
+		return err
+	}
+	var files []string
+	err = spec.RecordClients(w, n, func(id string) (io.WriteCloser, error) {
+		name := fmt.Sprintf("%s.%s.trace", prefix, id)
+		files = append(files, name)
+		return os.Create(name)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of spec %q across %d per-client captures: %s\n",
+		n, w.Name, len(files), strings.Join(files, " "))
 	return nil
 }
 

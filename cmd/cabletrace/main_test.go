@@ -14,7 +14,7 @@ import (
 func TestRecordReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "mcf.trace")
 	const n = 500
-	if err := record("mcf", n, path); err != nil {
+	if err := record("mcf", 0, n, path); err != nil {
 		t.Fatal(err)
 	}
 
@@ -47,7 +47,7 @@ func TestRecordReplay(t *testing.T) {
 
 func TestSummarizeSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gcc.trace")
-	if err := record("gcc", 200, path); err != nil {
+	if err := record("gcc", 0, 200, path); err != nil {
 		t.Fatal(err)
 	}
 	if err := summarize(path); err != nil {

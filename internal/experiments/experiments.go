@@ -12,7 +12,9 @@ import (
 	"cable/internal/fault"
 	"cable/internal/obs"
 	"cable/internal/stats"
+	"cable/internal/trace"
 	"cable/internal/workload"
+	"cable/internal/workload/spec"
 )
 
 // Options tune experiment scale. Quick mode shrinks caches, access
@@ -49,6 +51,20 @@ type Options struct {
 	// (16-chip mesh; 8 chips in quick mode).
 	Topology string
 	Chips    int
+
+	// Workload, when non-nil, is a declarative workload spec (the
+	// `-workload-spec` CLI flag). The `workload` experiment runs it
+	// through the memory-link driver, and the `mesh` experiment swaps
+	// its benchmark sweep for a single spec-driven topology run. Folded
+	// into the cell digests, so distinct specs never alias memo cells.
+	Workload *spec.Workload
+
+	// Replay, when non-empty, feeds recorded cabletrace captures (the
+	// `-replay` CLI flag) instead of live generators: the `workload`
+	// experiment maps one capture per program slot (or per client when
+	// combined with Workload), and the `mesh` experiment maps one per
+	// chip. Behavioral, so folded into the cell digests.
+	Replay []*trace.Trace
 
 	// Flight, when non-nil, attaches a virtual-time flight recorder to
 	// every simulation cell the drivers run (the `-windows`/`-timeline`
@@ -98,6 +114,7 @@ var drivers = []driver{
 	{"ablation", "design-choice ablations (pointer width, bucket depth, insert signatures)", Ablation},
 	{"breakdown", "per-benchmark encoding-class coverage (raw/standalone/diff-N, skips, bits per line)", Breakdown},
 	{"mesh", "N-chip topology scale-out (ring/mesh/star, discrete-event contention)", Mesh},
+	{"workload", "declarative workload-spec mix / trace replay through the memory-link driver", Workload},
 }
 
 // IDs lists every experiment id in paper order.

@@ -19,7 +19,26 @@ import (
 
 func memLinkFlightKey(cfg sim.MemLinkConfig) string {
 	d := cfg.Digest()
-	return fmt.Sprintf("memlink/%s/%x", strings.Join(cfg.Benchmarks, "+"), d[:6])
+	return fmt.Sprintf("memlink/%s/%x", memLinkSourceLabel(cfg), d[:6])
+}
+
+// memLinkSourceLabel names the workload source of a memory-link cell
+// for flight keys: benchmark list, spec name, or replayed captures.
+func memLinkSourceLabel(cfg sim.MemLinkConfig) string {
+	switch {
+	case cfg.Workload != nil && len(cfg.Replay) > 0:
+		return "spec:" + cfg.Workload.Name + ":replay"
+	case cfg.Workload != nil:
+		return "spec:" + cfg.Workload.Name
+	case len(cfg.Replay) > 0:
+		names := make([]string, len(cfg.Replay))
+		for i, t := range cfg.Replay {
+			names[i] = t.Header.Benchmark
+		}
+		return "replay:" + strings.Join(names, "+")
+	default:
+		return strings.Join(cfg.Benchmarks, "+")
+	}
 }
 
 func timingFlightKey(cfg sim.TimingConfig) string {

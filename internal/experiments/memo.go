@@ -183,6 +183,7 @@ func copyMemLinkResult(r *sim.MemLinkResult) *sim.MemLinkResult {
 		return nil
 	}
 	out := &sim.MemLinkResult{
+		Programs:   append([]string(nil), r.Programs...),
 		Total:      make(map[string]stats.Ratio, len(r.Total)),
 		PerProgram: make(map[string][]stats.Ratio, len(r.PerProgram)),
 		Toggles:    make(map[string]uint64, len(r.Toggles)),

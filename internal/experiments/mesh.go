@@ -18,7 +18,20 @@ import (
 
 func topoFlightKey(cfg topo.Config) string {
 	d := cfg.Digest()
-	return fmt.Sprintf("topo/%s%d/%s/%x", cfg.Shape, cfg.Chips, cfg.Benchmark, d[:6])
+	return fmt.Sprintf("topo/%s%d/%s/%x", cfg.Shape, cfg.Chips, topoSourceLabel(cfg), d[:6])
+}
+
+// topoSourceLabel names a topology cell's workload source for flight
+// keys: the benchmark, the spec, or the replayed capture set.
+func topoSourceLabel(cfg topo.Config) string {
+	switch {
+	case cfg.Workload != nil:
+		return "spec:" + cfg.Workload.Name
+	case len(cfg.Replay) > 0:
+		return "replay:" + cfg.Replay[0].Header.Benchmark
+	default:
+		return cfg.Benchmark
+	}
 }
 
 // copyTopoResult deep-copies a topology result (PerLink is the only
@@ -104,6 +117,9 @@ func meshConfig(opt Options, benchmark string) topo.Config {
 // the per-link partition inside each topology run is where the worker
 // pool goes (20–48 directed links versus 4–8 benchmarks).
 func Mesh(opt Options) (*Result, error) {
+	if opt.Workload != nil || len(opt.Replay) > 0 {
+		return meshFromSource(opt)
+	}
 	names := sweepSubset(opt)
 	var shape string
 	var chips, links, w, h int
@@ -132,5 +148,49 @@ func Mesh(opt Options) (*Result, error) {
 		fmt.Sprintf("%d-chip %s%s, %d directed links, one CABLE end pair per link", chips, shape, grid, links),
 		"speedup = raw/CABLE makespan from the discrete-event replay; >1 means compression relieved queueing",
 		"hitrate = header-only transfers where the link's remote cache still held the line",
+	}}, nil
+}
+
+// meshFromSource is the spec/replay variant of the scale-out study: a
+// single topology run driven by the -workload-spec mix (every chip a
+// variant-decorated instance) or by -replay captures (one per chip),
+// instead of the benchmark sweep.
+func meshFromSource(opt Options) (*Result, error) {
+	cfg := meshConfig(opt, "")
+	var row string
+	if opt.Workload != nil {
+		cfg.Workload = opt.Workload
+		row = opt.Workload.Name
+	} else {
+		// One capture per chip: the capture count is the chip count.
+		cfg.Replay = opt.Replay
+		cfg.Chips = len(opt.Replay)
+		row = "replay:" + opt.Replay[0].Header.Benchmark
+	}
+	res, err := runTopo(opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Mesh: N-chip topology scale-out", "cable", "hitrate", "util", "speedup")
+	t.Set(row, "cable", res.Ratio())
+	hitrate := 0.0
+	if res.LinkTransfers > 0 {
+		hitrate = float64(res.RemoteHits) / float64(res.LinkTransfers)
+	}
+	t.Set(row, "hitrate", hitrate)
+	t.Set(row, "util", res.MeanUtilization())
+	t.Set(row, "speedup", res.Speedup())
+	grid := ""
+	if res.Shape == topo.ShapeMesh {
+		grid = fmt.Sprintf(" (%dx%d, XY routing)", res.Width, res.Height)
+	}
+	source := topoSourceLabel(cfg)
+	if opt.Workload != nil {
+		source = fmt.Sprintf("spec %q, %d clients per chip", opt.Workload.Name, len(opt.Workload.Clients))
+	}
+	return &Result{ID: "mesh", Table: t, Notes: []string{
+		fmt.Sprintf("%d-chip %s%s, %d directed links, one CABLE end pair per link", res.Chips, res.Shape, grid, res.Links),
+		"source: " + source,
+		"speedup = raw/CABLE makespan from the discrete-event replay; >1 means compression relieved queueing",
 	}}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"cable/internal/core"
 	"cable/internal/fault"
 	"cable/internal/link"
+	"cable/internal/trace"
 )
 
 // This file derives canonical content digests for simulation configs.
@@ -68,6 +69,37 @@ func (d *digester) str(s string) {
 	for i := 0; i < len(s); i++ {
 		d.byte(s[i])
 	}
+}
+
+// folder adapts the internal digester to spec.Folder so workload
+// specs fold themselves into config digests without importing sim.
+type folder struct{ d *digester }
+
+func (f folder) Str(s string)  { f.d.str(s) }
+func (f folder) Int(v int)     { f.d.i(v) }
+func (f folder) U64(v uint64)  { f.d.u64(v) }
+func (f folder) F64(v float64) { f.d.f64(v) }
+func (f folder) Bool(v bool)   { f.d.bool(v) }
+
+// replays folds a replay capture list: count, then each capture's
+// content digest (which covers header and every record).
+func (d *digester) replays(ts []*trace.Trace) {
+	d.i(len(ts))
+	for _, t := range ts {
+		td := t.Digest()
+		for _, b := range td {
+			d.byte(b)
+		}
+	}
+}
+
+// singleReplay folds an optional single capture.
+func (d *digester) singleReplay(t *trace.Trace) {
+	if t == nil {
+		d.replays(nil)
+		return
+	}
+	d.replays([]*trace.Trace{t})
 }
 
 func (d *digester) sum() Digest {
@@ -144,6 +176,13 @@ func (c MemLinkConfig) Digest() Digest {
 	d.i(c.AccessesPerProgram)
 	d.bool(c.ScaleCachesByPrograms)
 	d.bool(c.WithMeters)
+	// Workload and Replay change the access stream, so they split memo
+	// cells: distinct specs (or captures) must never alias.
+	d.bool(c.Workload != nil)
+	if c.Workload != nil {
+		c.Workload.Fold(folder{&d})
+	}
+	d.replays(c.Replay)
 	return d.sum()
 }
 
@@ -165,6 +204,7 @@ func (c MultiChipConfig) Digest() Digest {
 	d.f64(c.PooledWMTFactor)
 	d.bool(c.Verify)
 	d.faultConfig(c.Fault)
+	d.singleReplay(c.Replay)
 	return d.sum()
 }
 
@@ -183,6 +223,7 @@ func (c NonInclusiveConfig) Digest() Digest {
 	d.coreConfig(c.Cable)
 	d.bool(c.Verify)
 	d.faultConfig(c.Fault)
+	d.singleReplay(c.Replay)
 	return d.sum()
 }
 

@@ -5,7 +5,9 @@ import (
 
 	"cable/internal/obs"
 	"cable/internal/stats"
+	"cable/internal/trace"
 	"cable/internal/workload"
+	"cable/internal/workload/spec"
 )
 
 // programSpacing separates co-running programs' address spaces.
@@ -40,6 +42,15 @@ type MemLinkConfig struct {
 	// to the chip (see ChipConfig.Recorder). Observation-only; excluded
 	// from content digests.
 	Recorder *obs.Recorder
+	// Workload, when non-nil, replaces Benchmarks with a declarative
+	// multi-client mix (internal/workload/spec): arrival-process
+	// scheduled clients instead of the fixed round-robin interleave.
+	Workload *spec.Workload
+	// Replay, when non-empty, feeds recorded captures instead of live
+	// generators: one per program slot for plain captures, or —
+	// combined with Workload — one per client as written by
+	// spec.RecordClients. Behavioral, so folded into the digest.
+	Replay []*trace.Trace
 }
 
 // DefaultMemLinkConfig returns the Table IV single-program setup.
@@ -55,10 +66,13 @@ func DefaultMemLinkConfig(benchmarks ...string) MemLinkConfig {
 
 // MemLinkResult carries per-scheme compression outcomes.
 type MemLinkResult struct {
+	// Programs labels the per-program slots: benchmark names, spec
+	// client IDs, or replayed capture names.
+	Programs []string
 	// Total maps scheme → aggregate link compression ratio.
 	Total map[string]stats.Ratio
 	// PerProgram maps scheme → per-program ratios, index-aligned with
-	// Benchmarks.
+	// Programs.
 	PerProgram map[string][]stats.Ratio
 	// Toggles maps scheme → wire bit toggles (§VI-D).
 	Toggles map[string]uint64
@@ -74,19 +88,161 @@ func (r *MemLinkResult) Ratio(scheme string) float64 {
 	return 1
 }
 
-// RunMemoryLink executes the functional memory-link simulation.
-func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
-	if len(cfg.Benchmarks) == 0 {
-		return nil, fmt.Errorf("sim: no benchmarks configured")
+// accessFeed abstracts where the interleaved access stream and the
+// backing-store contents come from: live generators, recorded-trace
+// replays, or a declarative workload mix (live or replayed).
+type accessFeed interface {
+	// next returns the next access and its owning program slot.
+	next() (workload.Access, int, error)
+	// lineData materializes backing-store contents.
+	lineData(addr uint64) []byte
+	// labels names the program slots.
+	labels() []string
+}
+
+// genFeed is the classic path: one live generator per co-running
+// program, interleaved round-robin — the link sees the streams mixed,
+// as a real shared memory controller would.
+type genFeed struct {
+	gens  []*workload.Generator
+	names []string
+	step  int
+}
+
+func (f *genFeed) next() (workload.Access, int, error) {
+	i := f.step % len(f.gens)
+	f.step++
+	return f.gens[i].Next(), i, nil
+}
+
+func (f *genFeed) lineData(addr uint64) []byte {
+	return f.gens[int(addr/programSpacing)].LineData(addr)
+}
+
+func (f *genFeed) labels() []string { return f.names }
+
+// replayFeed round-robins recorded captures over the program slots,
+// each rebased onto its slot's address space.
+type replayFeed struct {
+	srcs  []*trace.Source
+	names []string
+	step  int
+}
+
+func (f *replayFeed) next() (workload.Access, int, error) {
+	i := f.step % len(f.srcs)
+	f.step++
+	a, err := f.srcs[i].Next()
+	return a, i, err
+}
+
+func (f *replayFeed) lineData(addr uint64) []byte {
+	return f.srcs[int(addr/programSpacing)].LineData(addr)
+}
+
+func (f *replayFeed) labels() []string { return f.names }
+
+// mixFeed drives a declarative workload mix, live or replayed; program
+// slots are the mix's clients and the interleave follows the clients'
+// arrival processes instead of a fixed round-robin.
+type mixFeed struct {
+	mix *spec.Mix
+}
+
+func (f *mixFeed) next() (workload.Access, int, error) {
+	e, err := f.mix.Next()
+	return e.Access, e.Client, err
+}
+
+func (f *mixFeed) lineData(addr uint64) []byte { return f.mix.LineData(addr) }
+
+func (f *mixFeed) labels() []string { return f.mix.ClientIDs() }
+
+// newFeed compiles the config's workload selection into a feed and the
+// total access count.
+func newFeed(cfg MemLinkConfig) (accessFeed, int, error) {
+	switch {
+	case cfg.Workload != nil:
+		if len(cfg.Benchmarks) > 0 {
+			return nil, 0, fmt.Errorf("sim: Benchmarks and Workload are mutually exclusive")
+		}
+		total := cfg.AccessesPerProgram * len(cfg.Workload.Clients)
+		mix, err := spec.NewMix(cfg.Workload, spec.MixOptions{
+			Budget:   uint64(total),
+			Registry: cfg.Metrics,
+			Replay:   cfg.Replay,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return &mixFeed{mix: mix}, total, nil
+	case len(cfg.Replay) > 0:
+		if len(cfg.Benchmarks) > 0 {
+			return nil, 0, fmt.Errorf("sim: Benchmarks and Replay are mutually exclusive")
+		}
+		srcs := make([]*trace.Source, len(cfg.Replay))
+		names := make([]string, len(cfg.Replay))
+		for i, t := range cfg.Replay {
+			src, err := t.Source(uint64(i)*programSpacing, cfg.Metrics)
+			if err != nil {
+				return nil, 0, err
+			}
+			if src.Len() < cfg.AccessesPerProgram {
+				return nil, 0, fmt.Errorf("%w: capture %q has %d records, run needs %d per program",
+					trace.ErrExhausted, t.Header.Benchmark, src.Len(), cfg.AccessesPerProgram)
+			}
+			srcs[i] = src
+			names[i] = t.Header.Benchmark
+		}
+		return &replayFeed{srcs: srcs, names: names}, cfg.AccessesPerProgram * len(srcs), nil
+	case len(cfg.Benchmarks) > 0:
+		gens := make([]*workload.Generator, len(cfg.Benchmarks))
+		for i, name := range cfg.Benchmarks {
+			g, err := workload.NewIn(name, i, uint64(i)*programSpacing, cfg.Metrics)
+			if err != nil {
+				return nil, 0, err
+			}
+			gens[i] = g
+		}
+		return &genFeed{gens: gens, names: cfg.Benchmarks}, cfg.AccessesPerProgram * len(gens), nil
+	default:
+		return nil, 0, fmt.Errorf("sim: no benchmarks, workload, or replay configured")
 	}
-	gens := make([]*workload.Generator, len(cfg.Benchmarks))
-	for i, name := range cfg.Benchmarks {
-		g, err := workload.NewIn(name, i, uint64(i)*programSpacing, cfg.Metrics)
+}
+
+// newSingleSource resolves a one-program access source for the
+// single-benchmark drivers (multichip, noninclusive): a live generator
+// for benchmark, or a replay capture (mutually exclusive) with enough
+// records to cover the run.
+func newSingleSource(benchmark string, replay *trace.Trace, accesses int) (workload.Source, error) {
+	if replay == nil {
+		gen, err := workload.New(benchmark, 0, 0)
 		if err != nil {
 			return nil, err
 		}
-		gens[i] = g
+		return workload.AsSource(gen), nil
 	}
+	if benchmark != "" {
+		return nil, fmt.Errorf("sim: Benchmark and Replay are mutually exclusive")
+	}
+	src, err := replay.Source(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if src.Len() < accesses {
+		return nil, fmt.Errorf("%w: capture %q has %d records, run needs %d",
+			trace.ErrExhausted, replay.Header.Benchmark, src.Len(), accesses)
+	}
+	return src, nil
+}
+
+// RunMemoryLink executes the functional memory-link simulation.
+func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
+	feed, total, err := newFeed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	programs := feed.labels()
 	chipCfg := cfg.Chip
 	if cfg.Metrics != nil {
 		chipCfg.Metrics = cfg.Metrics
@@ -95,12 +251,10 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 		chipCfg.Recorder = cfg.Recorder
 	}
 	if cfg.ScaleCachesByPrograms {
-		chipCfg.LLCBytes *= len(cfg.Benchmarks)
-		chipCfg.L4Bytes *= len(cfg.Benchmarks)
+		chipCfg.LLCBytes *= len(programs)
+		chipCfg.L4Bytes *= len(programs)
 	}
-	chip, err := NewChip(chipCfg, func(addr uint64) []byte {
-		return gens[int(addr/programSpacing)].LineData(addr)
-	})
+	chip, err := NewChip(chipCfg, feed.lineData)
 	if err != nil {
 		return nil, err
 	}
@@ -111,15 +265,16 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 		chip.Home.SetTracer(cfg.Trace)
 	}
 
-	// Fine-grained round-robin interleave: the link sees the programs'
-	// streams mixed, as a real shared memory controller would.
-	for step := 0; step < cfg.AccessesPerProgram; step++ {
-		for i, g := range gens {
-			chip.Access(g.Next(), i)
+	for step := 0; step < total; step++ {
+		a, owner, err := feed.next()
+		if err != nil {
+			return nil, fmt.Errorf("sim: access %d: %w", step, err)
 		}
+		chip.Access(a, owner)
 	}
 
 	res := &MemLinkResult{
+		Programs:   programs,
 		Total:      map[string]stats.Ratio{},
 		PerProgram: map[string][]stats.Ratio{},
 		Toggles:    map[string]uint64{},
@@ -127,8 +282,8 @@ func RunMemoryLink(cfg MemLinkConfig) (*MemLinkResult, error) {
 	}
 	collect := func(name string, total stats.Ratio, per func(int) stats.Ratio, toggles uint64) {
 		res.Total[name] = total
-		rs := make([]stats.Ratio, len(gens))
-		for i := range gens {
+		rs := make([]stats.Ratio, len(programs))
+		for i := range rs {
 			rs[i] = per(i)
 		}
 		res.PerProgram[name] = rs

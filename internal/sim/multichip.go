@@ -14,7 +14,7 @@ import (
 	"cable/internal/mem"
 	"cable/internal/obs"
 	"cable/internal/stats"
-	"cable/internal/workload"
+	"cable/internal/trace"
 )
 
 // MultiChipConfig drives the coherence-link study (§V-B, Fig 13): a
@@ -58,6 +58,10 @@ type MultiChipConfig struct {
 	// every access ticks it and each node-pair link feeds its own
 	// "link<h>" track. Observation-only; excluded from content digests.
 	Recorder *obs.Recorder
+	// Replay, when non-nil, feeds a recorded capture instead of the
+	// live Benchmark generator (mutually exclusive with Benchmark).
+	// Behavioral, so folded into the digest.
+	Replay *trace.Trace
 }
 
 // DefaultMultiChipConfig is the paper's 4-node setup.
@@ -119,11 +123,11 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("sim: multichip needs ≥2 nodes, got %d", cfg.Nodes)
 	}
-	gen, err := workload.New(cfg.Benchmark, 0, 0)
+	src, err := newSingleSource(cfg.Benchmark, cfg.Replay, cfg.Accesses)
 	if err != nil {
 		return nil, err
 	}
-	store := mem.NewStore(64, gen.LineData)
+	store := mem.NewStore(64, src.LineData)
 	home := func(addr uint64) int { return int((addr / cfg.PageLines) % uint64(cfg.Nodes)) }
 
 	reqLLC := cache.New(cache.Config{Name: "llc0", SizeBytes: cfg.LLCBytes, Ways: cfg.LLCWays, LineSize: 64})
@@ -336,7 +340,10 @@ func RunMultiChip(cfg MultiChipConfig) (*MultiChipResult, error) {
 		if rec != nil {
 			rec.Tick()
 		}
-		a := gen.Next()
+		a, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("sim: access %d: %w", i, err)
+		}
 		h := home(a.LineAddr)
 		if line, id, ok := reqLLC.Access(a.LineAddr); ok {
 			if a.Write && line.State == cache.Shared {

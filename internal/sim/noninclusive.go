@@ -12,7 +12,7 @@ import (
 	"cable/internal/mem"
 	"cable/internal/obs"
 	"cable/internal/stats"
-	"cable/internal/workload"
+	"cable/internal/trace"
 )
 
 // NonInclusiveConfig drives the §IV-C extension: a Haswell-EP-style
@@ -48,6 +48,10 @@ type NonInclusiveConfig struct {
 	// every access ticks it and the link feeds a "cable" track.
 	// Observation-only; excluded from content digests.
 	Recorder *obs.Recorder
+	// Replay, when non-nil, feeds a recorded capture instead of the
+	// live Benchmark generator (mutually exclusive with Benchmark).
+	// Behavioral, so folded into the digest.
+	Replay *trace.Trace
 }
 
 // DefaultNonInclusiveConfig mirrors the memory-link setup with a
@@ -86,11 +90,11 @@ type NonInclusiveResult struct {
 
 // RunNonInclusive executes the non-inclusive simulation.
 func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
-	gen, err := workload.New(cfg.Benchmark, 0, 0)
+	src, err := newSingleSource(cfg.Benchmark, cfg.Replay, cfg.Accesses)
 	if err != nil {
 		return nil, err
 	}
-	store := mem.NewStore(64, gen.LineData)
+	store := mem.NewStore(64, src.LineData)
 	remote := cache.New(cache.Config{Name: "ca", SizeBytes: cfg.RemoteBytes, Ways: cfg.RemoteWays, LineSize: 64})
 	home := cache.New(cache.Config{Name: "ha", SizeBytes: cfg.HomeBytes, Ways: cfg.HomeWays, LineSize: 64})
 	he, err := core.NewHomeEnd(cfg.Cable, home, remote)
@@ -206,7 +210,10 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		if rec != nil {
 			rec.Tick()
 		}
-		a := gen.Next()
+		a, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("sim: access %d: %w", i, err)
+		}
 		if line, id, ok := remote.Access(a.LineAddr); ok {
 			if a.Write {
 				if line.State == cache.Shared {

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 
 	"cable/internal/obs"
-	"cable/internal/workload"
 )
 
 // This file is the discrete-event core shared by the schedule pass
@@ -204,13 +203,14 @@ func (s *schedule) hopOf(m, h int) int { return int(s.msgOff[m]) + h }
 func (s *schedule) routeLen(m int) int { return int(s.msgOff[m+1] - s.msgOff[m]) }
 
 // simulate runs one DES pass. In schedule mode (record=true) it drives
-// the per-chip arrival processes with gens, records every message and
-// assigns per-link entry indices in wire-arrival order, and serves
-// every wire transfer at the raw-baseline cost. In replay mode it
-// re-injects the recorded messages at their recorded times and serves
-// each transfer at its measured compressed cost, optionally feeding
-// per-link flight tracks at wire-completion virtual times.
-func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Recorder, tracks []*obs.Track) passStats {
+// the per-chip injection feed (live arrival processes, a workload mix,
+// or recorded captures), records every message and assigns per-link
+// entry indices in wire-arrival order, and serves every wire transfer
+// at the raw-baseline cost. In replay mode it re-injects the recorded
+// messages at their recorded times and serves each transfer at its
+// measured compressed cost, optionally feeding per-link flight tracks
+// at wire-completion virtual times.
+func (e *engine) simulate(record bool, feed injectFeed, rec *obs.Recorder, tracks []*obs.Track) (passStats, error) {
 	e.reset()
 	s := e.sched
 	ps := passStats{
@@ -266,21 +266,8 @@ func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Reco
 		}
 	}
 
-	// Arrival-process state (schedule mode only).
-	var gapState []uint64
 	plannedHops := 0
 	stopInject := false
-	if record {
-		gapState = make([]uint64, e.cfg.Chips)
-		for c := range gapState {
-			st := e.cfg.Seed + uint64(c)*0x9E3779B97F4A7C15
-			gapState[c] = splitmix64(&st)
-		}
-	}
-	gap := func(c int32) uint64 {
-		u := splitmix64(&gapState[c])
-		return 1 + u%uint64(2*e.cfg.MeanGap-1)
-	}
 	// replayNext walks the recorded messages in creation order (which
 	// is inject-time order — pass-1 pops events time-sorted).
 	replayNext := 0
@@ -288,7 +275,9 @@ func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Reco
 	// Seed the queue.
 	if record {
 		for c := 0; c < e.cfg.Chips; c++ {
-			e.push(gap(int32(c)), evInject, int32(c), 0)
+			if at, ok := feed.firstAt(int32(c)); ok {
+				e.push(at, evInject, int32(c), 0)
+			}
 		}
 	} else if len(s.msgAddr) > 0 {
 		e.push(s.msgInject[0], evInject, -1, 0)
@@ -306,7 +295,10 @@ func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Reco
 			if record {
 				c := ev.id
 				s.accesses++
-				a := gens[c].Next()
+				a, nextAt, more, ferr := feed.next(c, t)
+				if ferr != nil {
+					return ps, ferr
+				}
 				dst := int32((a.LineAddr / e.cfg.PageLines) % uint64(e.cfg.Chips))
 				if dst == c {
 					s.local++
@@ -324,12 +316,12 @@ func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Reco
 					s.msgOff = append(s.msgOff, int32(len(s.hopLink)))
 					plannedHops += len(routeBuf)
 					enqueueEnc(c, packRef(m, 0), t)
-					if plannedHops >= e.cfg.Transfers {
+					if plannedHops >= e.cfg.Transfers && feed.hopTarget() {
 						stopInject = true
 					}
 				}
-				if !stopInject {
-					e.push(t+gap(c), evInject, c, 0)
+				if more && !stopInject {
+					e.push(nextAt, evInject, c, 0)
 				}
 			} else {
 				m := replayNext
@@ -387,5 +379,5 @@ func (e *engine) simulate(record bool, gens []*workload.Generator, rec *obs.Reco
 	if rec != nil {
 		rec.AdvanceTo(ps.makespan)
 	}
-	return ps
+	return ps, nil
 }

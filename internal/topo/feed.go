@@ -1,0 +1,243 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"cable/internal/obs"
+	"cable/internal/trace"
+	"cable/internal/workload"
+	"cable/internal/workload/spec"
+)
+
+// injectFeed feeds the schedule pass: each chip's access stream plus
+// the virtual times at which the accesses inject. Implementations keep
+// strictly per-chip state (private generator/sampler/capture cursors),
+// so the stream each chip sees is a pure function of the config — the
+// event queue's pop order cannot perturb it.
+type injectFeed interface {
+	// firstAt returns chip c's first injection time; ok=false means
+	// the chip injects nothing at all.
+	firstAt(c int32) (at uint64, ok bool)
+	// next returns chip c's current access and the absolute time of
+	// the chip's next injection. more=false ends the chip's stream; a
+	// non-nil error aborts the run (a capture ran dry mid-schedule).
+	next(c int32, now uint64) (a workload.Access, nextAt uint64, more bool, err error)
+	// hopTarget reports whether cfg.Transfers stops injection as a
+	// hop-count target (gap-process feeds) or the streams run to
+	// exhaustion (spec mixes, whose budget already encodes the length).
+	hopTarget() bool
+}
+
+// gapProcess is the uniform per-chip inter-arrival process shared by
+// the benchmark and replay feeds: one splitmix64 stream per chip,
+// derived from the run seed, gaps uniform in [1, 2*MeanGap-1].
+type gapProcess struct {
+	state   []uint64
+	meanGap uint64
+}
+
+func newGapProcess(seed uint64, chips, meanGap int) *gapProcess {
+	g := &gapProcess{state: make([]uint64, chips), meanGap: uint64(meanGap)}
+	for c := range g.state {
+		st := seed + uint64(c)*0x9E3779B97F4A7C15
+		g.state[c] = splitmix64(&st)
+	}
+	return g
+}
+
+func (g *gapProcess) gap(c int32) uint64 {
+	u := splitmix64(&g.state[c])
+	return 1 + u%(2*g.meanGap-1)
+}
+
+// benchFeed is the classic path: every chip runs its own instance of
+// one benchmark, injecting on the uniform gap process.
+type benchFeed struct {
+	gens []*workload.Generator
+	gaps *gapProcess
+}
+
+func newBenchFeed(cfg Config) (*benchFeed, error) {
+	f := &benchFeed{
+		gens: make([]*workload.Generator, cfg.Chips),
+		gaps: newGapProcess(cfg.Seed, cfg.Chips, cfg.MeanGap),
+	}
+	for c := range f.gens {
+		g, err := workload.NewIn(cfg.Benchmark, c, 0, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		f.gens[c] = g
+	}
+	return f, nil
+}
+
+func (f *benchFeed) firstAt(c int32) (uint64, bool) { return f.gaps.gap(c), true }
+
+func (f *benchFeed) next(c int32, now uint64) (workload.Access, uint64, bool, error) {
+	return f.gens[c].Next(), now + f.gaps.gap(c), true, nil
+}
+
+func (f *benchFeed) hopTarget() bool { return true }
+
+// replayFeed substitutes each chip's generator with a recorded capture
+// (addresses rebased to the engine's zero-based space) while injection
+// times still come from the run seed's gap process — so replaying
+// captures of the live per-chip streams reproduces the live schedule,
+// and with it every per-link table, bit for bit.
+type replayFeed struct {
+	chips []replayChip
+	gaps  *gapProcess
+}
+
+type replayChip struct {
+	accs []workload.Access
+	base uint64
+	pos  int
+}
+
+func newReplayFeed(cfg Config) (*replayFeed, error) {
+	f := &replayFeed{
+		chips: make([]replayChip, cfg.Chips),
+		gaps:  newGapProcess(cfg.Seed, cfg.Chips, cfg.MeanGap),
+	}
+	for c, t := range cfg.Replay {
+		f.chips[c] = replayChip{accs: t.Accesses, base: t.Header.AddrBase}
+	}
+	return f, nil
+}
+
+func (f *replayFeed) firstAt(c int32) (uint64, bool) {
+	return f.gaps.gap(c), true
+}
+
+// next hard-errors on a dry capture instead of ending the chip's
+// stream: a live generator never runs out, so a silent early stop
+// would quietly diverge from the run being reproduced.
+func (f *replayFeed) next(c int32, now uint64) (workload.Access, uint64, bool, error) {
+	rc := &f.chips[c]
+	if rc.pos >= len(rc.accs) {
+		return workload.Access{}, 0, false, fmt.Errorf(
+			"topo: chip %d capture exhausted after %d records mid-schedule: %w",
+			c, rc.pos, trace.ErrExhausted)
+	}
+	a := rc.accs[rc.pos]
+	rc.pos++
+	a.LineAddr -= rc.base
+	return a, now + f.gaps.gap(c), true, nil
+}
+
+func (f *replayFeed) hopTarget() bool { return true }
+
+// specFeed runs the declarative workload mix on every chip, variant-
+// decorated per chip so the chips' address streams decorrelate while
+// content stays one pure function of the address. Injection times are
+// the mix's own emission times (the clients' arrival processes), and
+// each chip's mix runs its budget — cfg.Transfers split evenly across
+// chips — to exhaustion, which keeps phase-change fractions exact.
+type specFeed struct {
+	pending []spec.Emission
+	mixes   []*spec.Mix
+	// left counts each chip's remaining emissions: a live mix samples
+	// forever (its Budget only anchors phase boundaries), so the feed
+	// enforces the per-chip access budget itself.
+	left []uint64
+}
+
+func newSpecFeed(cfg Config) (*specFeed, error) {
+	per := cfg.Transfers / cfg.Chips
+	if per < 1 {
+		per = 1
+	}
+	f := &specFeed{
+		pending: make([]spec.Emission, cfg.Chips),
+		mixes:   make([]*spec.Mix, cfg.Chips),
+		left:    make([]uint64, cfg.Chips),
+	}
+	for c := 0; c < cfg.Chips; c++ {
+		m, err := spec.NewMix(cfg.Workload, spec.MixOptions{
+			Variant:  uint64(c),
+			Budget:   uint64(per),
+			Registry: cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.mixes[c] = m
+		e, err := m.Next()
+		if err != nil {
+			if errors.Is(err, spec.ErrExhausted) {
+				continue
+			}
+			return nil, err
+		}
+		f.pending[c] = e
+		f.left[c] = uint64(per)
+	}
+	return f, nil
+}
+
+func (f *specFeed) firstAt(c int32) (uint64, bool) {
+	return f.pending[c].At, f.left[c] > 0
+}
+
+func (f *specFeed) next(c int32, now uint64) (workload.Access, uint64, bool, error) {
+	a := f.pending[c].Access
+	f.left[c]--
+	if f.left[c] == 0 {
+		return a, 0, false, nil
+	}
+	e, err := f.mixes[c].Next()
+	if err != nil {
+		if errors.Is(err, spec.ErrExhausted) {
+			return a, 0, false, nil
+		}
+		return a, 0, false, err
+	}
+	f.pending[c] = e
+	return a, e.At, true, nil
+}
+
+func (f *specFeed) hopTarget() bool { return false }
+
+// newInjectFeed compiles the config's workload selection (Validate has
+// already checked mutual exclusion) into the schedule pass's feed.
+func newInjectFeed(cfg Config) (injectFeed, error) {
+	switch {
+	case cfg.Workload != nil:
+		return newSpecFeed(cfg)
+	case len(cfg.Replay) > 0:
+		return newReplayFeed(cfg)
+	default:
+		return newBenchFeed(cfg)
+	}
+}
+
+// newContentFactory returns the per-worker content-function builder
+// for the encode pass. Line content is a pure function of the address
+// in every mode, so worker-local instances are consistent by
+// construction; each reports into a throwaway registry because which
+// worker materializes which lines is a partition artifact.
+func newContentFactory(cfg Config) func() (func(uint64) []byte, error) {
+	if cfg.Workload != nil {
+		return func() (func(uint64) []byte, error) {
+			ct, err := spec.NewContentTable(cfg.Workload, obs.NewRegistry())
+			if err != nil {
+				return nil, err
+			}
+			return ct.LineData, nil
+		}
+	}
+	bench := cfg.Benchmark
+	if len(cfg.Replay) > 0 {
+		bench = cfg.Replay[0].Header.Benchmark
+	}
+	return func() (func(uint64) []byte, error) {
+		g, err := workload.NewIn(bench, 0, 0, obs.NewRegistry())
+		if err != nil {
+			return nil, err
+		}
+		return g.LineData, nil
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"cable/internal/mem"
 	"cable/internal/obs"
 	"cable/internal/stats"
-	"cable/internal/workload"
 )
 
 // LinkStat is one directed link's outcome.
@@ -356,15 +355,12 @@ func Run(cfg Config) (*Result, error) {
 	tc := topoMetricsIn(cfg.Metrics, t, cfg.Fault.Enabled())
 	shard := obs.NextShard()
 
-	// Pass 1 — schedule: per-chip arrival processes through the raw
+	// Pass 1 — schedule: the per-chip injection feed (live arrival
+	// processes, a workload mix, or recorded captures) through the raw
 	// baseline, freezing each link's transfer sequence.
-	gens := make([]*workload.Generator, cfg.Chips)
-	for c := range gens {
-		g, err := workload.NewIn(cfg.Benchmark, c, 0, cfg.Metrics)
-		if err != nil {
-			return nil, err
-		}
-		gens[c] = g
+	feed, err := newInjectFeed(cfg)
+	if err != nil {
+		return nil, err
 	}
 	e := newEngine(cfg, t)
 	recording := cfg.Recorder != nil
@@ -373,7 +369,10 @@ func Run(cfg Config) (*Result, error) {
 		e.sched.recToggles = make([][]uint32, len(t.links))
 		e.sched.recFlags = make([][]uint8, len(t.links))
 	}
-	rawPass := e.simulate(true, gens, nil, nil)
+	rawPass, err := e.simulate(true, feed, nil, nil)
+	if err != nil {
+		return nil, err
+	}
 
 	// Pass 2 — encode: partition links across a bounded worker pool.
 	// Each worker owns a backing store over the shared pure content
@@ -391,6 +390,7 @@ func Run(cfg Config) (*Result, error) {
 	for i, lm := range t.links {
 		perLink[i] = LinkStat{Name: lm.name, Src: int(lm.src), Dst: int(lm.dst)}
 	}
+	newContent := newContentFactory(cfg)
 	errs := make([]error, len(t.links))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -398,12 +398,12 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// The content generator's line-cache traffic depends on which
+			// The content function's line-cache traffic depends on which
 			// links this worker happens to claim — an artifact of the
 			// partition, not of the simulated system — so it reports into
 			// a throwaway registry to keep metric dumps identical at any
 			// parallelism.
-			contentGen, gerr := workload.NewIn(cfg.Benchmark, 0, 0, obs.NewRegistry())
+			content, gerr := newContent()
 			if gerr != nil {
 				// Claim links so the pool still drains; each claimed
 				// link reports the construction error.
@@ -415,7 +415,7 @@ func Run(cfg Config) (*Result, error) {
 					errs[li] = gerr
 				}
 			}
-			store := mem.NewStore(64, contentGen.LineData)
+			store := mem.NewStore(64, content)
 			for {
 				li := int(next.Add(1)) - 1
 				if li >= len(t.links) {
@@ -447,7 +447,10 @@ func Run(cfg Config) (*Result, error) {
 			tracks[i] = cfg.Recorder.Track("link" + lm.name)
 		}
 	}
-	cablePass := e.simulate(false, nil, cfg.Recorder, tracks)
+	cablePass, err := e.simulate(false, nil, cfg.Recorder, tracks)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Shape: cfg.Shape, Chips: cfg.Chips, Links: len(t.links),

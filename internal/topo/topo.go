@@ -32,6 +32,7 @@
 package topo
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -40,6 +41,8 @@ import (
 	"cable/internal/link"
 	"cable/internal/obs"
 	"cable/internal/sim"
+	"cable/internal/trace"
+	"cable/internal/workload/spec"
 )
 
 // Topology shapes.
@@ -112,6 +115,23 @@ type Config struct {
 	// track per directed link, fed at explicit virtual times during
 	// the serial replay pass. Observation-only.
 	Recorder *obs.Recorder
+	// Workload, when non-nil, replaces Benchmark: every chip runs the
+	// declarative multi-client mix (variant-decorated per chip, so the
+	// chips' streams decorrelate while content stays a pure address
+	// function), injecting at the mix's own emission times instead of
+	// the uniform gap process. In this mode Transfers is the total
+	// access budget, split evenly across chips and run to exhaustion —
+	// phase-change fractions are exact over each chip's share — rather
+	// than a hop-count stop target. Behavioral: folded into Digest.
+	Workload *spec.Workload
+	// Replay, when non-empty, replaces Benchmark with recorded
+	// captures, one per chip (all of one benchmark), feeding each
+	// chip's injected accesses verbatim while injection times still
+	// come from the Seed gap process — so captures of the live
+	// per-chip streams reproduce the live run bit-identically.
+	// Mutually exclusive with Workload. Behavioral: folded into
+	// Digest.
+	Replay []*trace.Trace
 }
 
 // DefaultConfig is the 16-chip mesh the scale-out study uses.
@@ -159,6 +179,29 @@ func (c Config) Validate() error {
 	if c.PageLines == 0 || c.MeanGap <= 0 || c.EncodeCycles <= 0 || c.HopCycles < 0 {
 		return fmt.Errorf("topo: non-positive timing/interleave parameter")
 	}
+	if c.Workload != nil && len(c.Replay) > 0 {
+		return fmt.Errorf("topo: combined workload spec + replay is not supported in topology runs (replay spec captures through the memlink driver)")
+	}
+	if c.Workload != nil && c.Benchmark != "" {
+		return fmt.Errorf("topo: Benchmark and Workload are mutually exclusive")
+	}
+	if len(c.Replay) > 0 {
+		if c.Benchmark != "" {
+			return fmt.Errorf("topo: Benchmark and Replay are mutually exclusive")
+		}
+		if len(c.Replay) != c.Chips {
+			return fmt.Errorf("topo: %d replay captures for %d chips (need one per chip)", len(c.Replay), c.Chips)
+		}
+		for i, t := range c.Replay {
+			if t.Header.Benchmark != c.Replay[0].Header.Benchmark {
+				return fmt.Errorf("topo: replay captures mix benchmarks %q (chip 0) and %q (chip %d)",
+					c.Replay[0].Header.Benchmark, t.Header.Benchmark, i)
+			}
+		}
+	}
+	if c.Benchmark == "" && c.Workload == nil && len(c.Replay) == 0 {
+		return fmt.Errorf("topo: no benchmark, workload, or replay configured")
+	}
 	return nil
 }
 
@@ -187,6 +230,18 @@ func (c Config) Digest() sim.Digest {
 	// The per-link seed derivation (linkFaultConfig) is part of the
 	// format; folding the base config covers it.
 	d.FaultConfig(c.Fault)
+	// Workload and Replay change the access schedule, so they split
+	// memo cells: distinct specs (or captures) must never alias.
+	d.Bool(c.Workload != nil)
+	if c.Workload != nil {
+		c.Workload.Fold(d)
+	}
+	d.Int(len(c.Replay))
+	for _, t := range c.Replay {
+		td := t.Digest()
+		d.U64(binary.LittleEndian.Uint64(td[:8]))
+		d.U64(binary.LittleEndian.Uint64(td[8:]))
+	}
 	return d.Sum()
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -15,17 +16,18 @@ import (
 func TestWriterReaderProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xCAB1E))
 	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
 		h := Header{
 			Benchmark: string(rune('a' + trial%26)),
 			Instance:  rng.Uint32(),
 			AddrBase:  rng.Uint64(),
+			Records:   uint64(n),
 		}
-		n := rng.Intn(200)
 		recs := make([]workload.Access, n)
 		for i := range recs {
 			recs[i] = workload.Access{
 				LineAddr: rng.Uint64(),
-				Gap:      rng.Intn(1 << 31),
+				Gap:      int(rng.Uint32()), // full on-disk uint32 range
 				Write:    rng.Intn(2) == 1,
 			}
 		}
@@ -52,7 +54,7 @@ func TestWriterReaderProperty(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		got := r.Header()
-		if got.Benchmark != h.Benchmark || got.Instance != h.Instance || got.AddrBase != h.AddrBase {
+		if got != h {
 			t.Fatalf("trial %d: header %+v != %+v", trial, got, h)
 		}
 		for i, want := range recs {
@@ -70,17 +72,19 @@ func TestWriterReaderProperty(t *testing.T) {
 	}
 }
 
-// TestTruncationAtEveryBoundary cuts a valid trace at every possible
-// byte length and demands an error from somewhere — header parse or
-// record iteration — never a silent short read. Only prefixes landing
-// exactly on a record boundary may parse fully (with a clean EOF).
+// TestTruncationAtEveryBoundary cuts a valid v2 trace at every
+// possible byte length and demands an error from somewhere — header
+// parse or record iteration — never a silent short read. Because the
+// v2 header declares the record count, even cuts landing exactly on a
+// record boundary must now surface as ErrTruncated rather than the
+// clean EOF v1 readers were forced to accept.
 func TestTruncationAtEveryBoundary(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, Header{Benchmark: "gcc", Instance: 1, AddrBase: 64})
+	const n = 3
+	w, err := NewWriter(&buf, Header{Benchmark: "gcc", Instance: 1, AddrBase: 64, Records: n})
 	if err != nil {
 		t.Fatal(err)
 	}
-	const n = 3
 	for i := 0; i < n; i++ {
 		if err := w.Write(workload.Access{LineAddr: uint64(i) << 6, Gap: i}); err != nil {
 			t.Fatal(err)
@@ -111,12 +115,29 @@ func TestTruncationAtEveryBoundary(t *testing.T) {
 			}
 		}
 		_, err = r.Next()
-		if rem == 0 {
-			if err != io.EOF {
-				t.Fatalf("cut %d: want EOF after %d records, got %v", cut, whole, err)
+		switch {
+		case rem != 0:
+			if err == nil || err == io.EOF {
+				t.Fatalf("cut %d: partial record must be a hard error, got %v", cut, err)
 			}
-		} else if err == nil || err == io.EOF {
-			t.Fatalf("cut %d: partial record must be a hard error, got %v", cut, err)
+		default: // clean record boundary, but short of the declared count
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: want ErrTruncated after %d of %d records, got %v", cut, whole, n, err)
+			}
 		}
+	}
+
+	// The uncut stream still ends in a clean EOF.
+	r, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
 	}
 }

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cable/internal/obs"
+	"cable/internal/workload"
+)
+
+// TestReadAllAndSourceRebase records a co-run copy at one address base
+// and replays it at another: the replayed stream must equal the live
+// generator's stream shifted by the base delta, and contents at the
+// new base must match a live generator placed there (content is a pure
+// function of the relative address).
+func TestReadAllAndSourceRebase(t *testing.T) {
+	const n = 500
+	gen, err := workload.New("gcc", 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Accesses) != n || tr.Header.Records != n {
+		t.Fatalf("loaded %d accesses, header %d, want %d", len(tr.Accesses), tr.Header.Records, n)
+	}
+
+	const newBase = 5 << 32
+	src, err := tr.Source(newBase, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := workload.NewIn("gcc", 2, newBase, obs.NewRegistry())
+	for i := 0; i < n; i++ {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := ref.Next()
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+		line := src.LineData(got.LineAddr)
+		if !bytes.Equal(line, ref.LineData(want.LineAddr)) {
+			t.Fatalf("record %d: content mismatch at %#x", i, got.LineAddr)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted past the capture, got %v", err)
+	}
+}
+
+// TestTraceDigestDistinct pins digest behavior: loading the same bytes
+// twice gives the same digest, and any change — one record, or only a
+// header field — gives a different one (distinct captures never alias
+// memo cells).
+func TestTraceDigestDistinct(t *testing.T) {
+	mk := func(instance uint32, gap int) *Trace {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Benchmark: "gcc", Instance: instance, Records: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(workload.Access{LineAddr: 1, Gap: 1})
+		w.Write(workload.Access{LineAddr: 2, Gap: gap})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a1, a2 := mk(0, 7), mk(0, 7)
+	if a1.Digest() != a2.Digest() {
+		t.Fatal("identical captures must share a digest")
+	}
+	if a1.Digest() == mk(0, 8).Digest() {
+		t.Fatal("a record change must change the digest")
+	}
+	if a1.Digest() == mk(1, 7).Digest() {
+		t.Fatal("a header change must change the digest")
+	}
+}
+
+// TestSourceUnknownBenchmark: replay needs the content model, so a
+// header naming an unknown benchmark must fail Source construction.
+func TestSourceUnknownBenchmark(t *testing.T) {
+	tr := &Trace{Header: Header{Benchmark: "no-such-benchmark"}}
+	if _, err := tr.Source(0, obs.NewRegistry()); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"io"
+	"os"
 	"testing"
 
 	"cable/internal/workload"
@@ -24,7 +25,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := r.Header()
-	if h.Benchmark != "gcc" || h.AddrBase != 1<<20 {
+	if h.Benchmark != "gcc" || h.AddrBase != 1<<20 || h.Records != 1000 {
 		t.Fatalf("header = %+v", h)
 	}
 	for i := 0; i < 1000; i++ {
@@ -94,6 +95,163 @@ func TestWriterValidation(t *testing.T) {
 	w, _ := NewWriter(&buf, Header{Benchmark: "ok"})
 	if err := w.Write(workload.Access{Gap: -1}); err == nil {
 		t.Fatal("negative gap should error")
+	}
+}
+
+// TestGapBounds pins the writer's gap range to the on-disk uint32
+// field: every representable value round-trips (including 1<<31, which
+// the historical check wrongly rejected alongside wrongly accepting
+// nothing above it), and the first unrepresentable value is rejected.
+func TestGapBounds(t *testing.T) {
+	accepted := []int{0, 1, 1<<31 - 1, 1 << 31, 1<<32 - 1}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "gcc", Records: uint64(len(accepted))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range accepted {
+		if err := w.Write(workload.Access{LineAddr: 1, Gap: g}); err != nil {
+			t.Fatalf("gap %d should be accepted: %v", g, err)
+		}
+	}
+	for _, g := range []int{-1, 1 << 32, 1<<32 + 7} {
+		if err := w.Write(workload.Access{LineAddr: 1, Gap: g}); err == nil {
+			t.Fatalf("gap %d should be rejected", g)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range accepted {
+		a, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if a.Gap != g {
+			t.Fatalf("record %d: gap %d != %d", i, a.Gap, g)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestRecordSetsInstance pins the bugfix for recorded co-run copies:
+// the header must carry the generator's instance so replays of co-run
+// captures stay distinguishable.
+func TestRecordSetsInstance(t *testing.T) {
+	gen, err := workload.New("gcc", 3, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, gen, 10); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Instance != 3 {
+		t.Fatalf("instance = %d, want 3", h.Instance)
+	}
+	if h.Records != 10 {
+		t.Fatalf("records = %d, want 10", h.Records)
+	}
+}
+
+// TestRecordsBackpatch covers the v2 count reconciliation paths: a
+// seekable sink gets the true count patched into the header, a
+// non-seekable sink keeps an unknown (0) count silently, and a
+// non-seekable sink with a wrong declared count fails Close.
+func TestRecordsBackpatch(t *testing.T) {
+	path := t.TempDir() + "/t.trace"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, Header{Benchmark: "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.Write(workload.Access{LineAddr: uint64(i), Gap: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Records != 7 {
+		t.Fatalf("seekable sink: records = %d, want backpatched 7", tr.Header.Records)
+	}
+
+	var buf bytes.Buffer
+	w, _ = NewWriter(&buf, Header{Benchmark: "gcc"})
+	w.Write(workload.Access{Gap: 1})
+	if err := w.Close(); err != nil {
+		t.Fatalf("unknown declared count on a pipe should close clean: %v", err)
+	}
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	if r.Header().Records != 0 {
+		t.Fatalf("pipe sink: records = %d, want unknown (0)", r.Header().Records)
+	}
+
+	buf.Reset()
+	w, _ = NewWriter(&buf, Header{Benchmark: "gcc", Records: 5})
+	w.Write(workload.Access{Gap: 1})
+	if err := w.Close(); err == nil {
+		t.Fatal("wrong declared count on a pipe should fail Close")
+	}
+}
+
+// TestV1Golden proves back-compat against a committed CBLT0001 file:
+// the header parses with Records reported as 0 (unknown), and every
+// record — including gaps above the v1 writer's wrong 1<<31 bound —
+// reads back verbatim.
+func TestV1Golden(t *testing.T) {
+	f, err := os.Open("testdata/v1_gcc.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Benchmark != "gcc" || h.Instance != 2 || h.AddrBase != 4096 || h.Records != 0 {
+		t.Fatalf("v1 header = %+v", h)
+	}
+	want := []workload.Access{
+		{LineAddr: 4096, Gap: 1},
+		{LineAddr: 4097, Gap: 100, Write: true},
+		{LineAddr: 4096 + 999, Gap: 1 << 31},
+		{LineAddr: ^uint64(0), Gap: 1<<32 - 1, Write: true},
+	}
+	for i, wa := range want {
+		a, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if a != wa {
+			t.Fatalf("record %d: %+v != %+v", i, a, wa)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
 	}
 }
 

@@ -130,6 +130,9 @@ func (g *Generator) Spec() Spec { return g.spec }
 // AddrBase returns the base line address of this instance's space.
 func (g *Generator) AddrBase() uint64 { return g.addrBase }
 
+// Instance returns the co-run copy index this generator was built with.
+func (g *Generator) Instance() int { return g.instance }
+
 // freshLine generates a unique line in the given content family.
 func freshLine(m ValueModel, rng *rand.Rand) []byte {
 	line := make([]byte, LineSize)

@@ -1,0 +1,20 @@
+package workload
+
+// Source is the access-stream + content abstraction the simulators
+// consume: live generators, recorded-trace replays, and declarative
+// workload mixes all satisfy it. Next returns an error only for
+// bounded sources (a replay running past its capture); live generators
+// are endless.
+type Source interface {
+	Next() (Access, error)
+	LineData(lineAddr uint64) []byte
+}
+
+// generatorSource adapts a live Generator to the Source interface.
+type generatorSource struct{ g *Generator }
+
+func (s generatorSource) Next() (Access, error)       { return s.g.Next(), nil }
+func (s generatorSource) LineData(addr uint64) []byte { return s.g.LineData(addr) }
+
+// AsSource adapts a live generator to the Source interface.
+func AsSource(g *Generator) Source { return generatorSource{g} }

@@ -1,0 +1,129 @@
+// Seeded inter-arrival samplers. Every process draws from a private
+// splitmix64 counter stream, so a client's gap sequence is a pure
+// function of (workload seed, client index, variant) — independent of
+// evaluation order, parallelism, and the other clients. Gaps are
+// integers in [1, 2^32-1]: they merge on an exact virtual clock (no
+// float comparisons in the hot path) and fit the trace format's
+// on-disk gap field, which is what makes record→replay reconstruct
+// the identical merge order.
+package spec
+
+import "math"
+
+const maxGap = 1<<32 - 1
+
+// Arrival process kinds, resolved from the DSL's process names.
+type arrivalKind int
+
+const (
+	arrFixed arrivalKind = iota
+	arrPoisson
+	arrGamma
+	arrWeibull
+)
+
+// sampler produces one client's integer gap sequence.
+type sampler struct {
+	state uint64
+	kind  arrivalKind
+	mean  float64
+
+	// gamma(k, theta) via Marsaglia–Tsang.
+	k, theta float64
+	// weibull scale/shape.
+	lambda, invShape float64
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// newSampler builds the sampler for one client: mean is the client's
+// mean inter-arrival gap (aggregate mean over its normalized rate),
+// seed its private stream seed.
+func newSampler(a Arrival, mean float64, seed uint64) *sampler {
+	s := &sampler{state: seed, mean: mean}
+	switch a.Process {
+	case "poisson":
+		s.kind = arrPoisson
+	case "gamma":
+		s.kind = arrGamma
+		// CV = 1/sqrt(k): burstiness picks the shape, the mean the scale.
+		s.k = 1 / (a.CV * a.CV)
+		s.theta = mean / s.k
+	case "weibull":
+		s.kind = arrWeibull
+		s.invShape = 1 / a.Shape
+		s.lambda = mean / math.Gamma(1+s.invShape)
+	default: // "fixed"
+		s.kind = arrFixed
+	}
+	return s
+}
+
+// uniform returns the next draw in (0, 1); never 0, so logs are safe.
+func (s *sampler) uniform() float64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return (float64(z>>11) + 0.5) / float64(1<<53)
+}
+
+// normal returns a standard normal draw (Box–Muller; the second
+// variate is discarded to keep the stream's draw count data-dependent
+// only on accepted samples).
+func (s *sampler) normal() float64 {
+	u1, u2 := s.uniform(), s.uniform()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// next returns the client's next inter-arrival gap.
+func (s *sampler) next() uint64 {
+	var x float64
+	switch s.kind {
+	case arrPoisson:
+		x = -s.mean * math.Log(s.uniform())
+	case arrGamma:
+		x = s.theta * s.gammaVariate(s.k)
+	case arrWeibull:
+		x = s.lambda * math.Pow(-math.Log(s.uniform()), s.invShape)
+	default:
+		x = s.mean
+	}
+	g := math.Round(x)
+	if !(g >= 1) { // NaN-safe: extreme parameters clamp to the floor
+		return 1
+	}
+	if g > maxGap {
+		return maxGap
+	}
+	return uint64(g)
+}
+
+// gammaVariate draws gamma(k, 1) via Marsaglia–Tsang (2000); the k<1
+// case boosts a gamma(k+1) draw, which is where bursty cv>1 arrivals
+// land.
+func (s *sampler) gammaVariate(k float64) float64 {
+	if k < 1 {
+		return s.gammaVariate(k+1) * math.Pow(s.uniform(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.uniform()
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
