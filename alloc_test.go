@@ -79,3 +79,25 @@ func TestRunMultiChipAllocBudget(t *testing.T) {
 		t.Fatalf("RunMultiChip allocated %.0f times per run; budget is %d", avg, budget)
 	}
 }
+
+// TestRunNonInclusiveAllocBudget pins the non-inclusive Home Agent
+// simulation the same way: its write-version map is pooled, both cache
+// backings and CABLE-end tables are released at run end, and every
+// marshal rides the run's scratch writer. Measured ~2.0k allocs/run at
+// this configuration; the budget leaves room for noise while catching
+// any per-access allocation (≥5000 here) creeping back.
+func TestRunNonInclusiveAllocBudget(t *testing.T) {
+	const budget = 3500
+	cfg := cable.DefaultNonInclusiveConfig("dealII")
+	cfg.Accesses = 5000
+	cfg.RemoteBytes = 256 << 10
+	cfg.HomeBytes = 512 << 10
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := cable.RunNonInclusive(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("RunNonInclusive allocated %.0f times per run; budget is %d", avg, budget)
+	}
+}

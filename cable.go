@@ -32,6 +32,7 @@ import (
 	"net/http"
 
 	"cable/internal/cache"
+	"cable/internal/codec"
 	"cable/internal/compress"
 	"cable/internal/core"
 	"cable/internal/experiments"
@@ -405,3 +406,35 @@ func NewFlight(cfg FlightConfig) *Flight { return obs.NewFlight(cfg) }
 
 // NewFlightRecorder builds a standalone flight recorder.
 func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return obs.NewRecorder(cfg) }
+
+// StreamEncoder compresses a byte stream through a CABLE link: an
+// io.Writer whose dictionary is a cache the decoder mirrors in
+// lock-step (see internal/codec for the wire format). Close emits the
+// tail frame; Reset re-arms the instance for another stream, making
+// encoders sync.Pool-friendly.
+type StreamEncoder = codec.Encoder
+
+// StreamDecoder reconstructs the plaintext from a StreamEncoder's
+// output: an io.Reader configured entirely by the stream header.
+type StreamDecoder = codec.Decoder
+
+// StreamOptions configures NewStreamEncoder.
+type StreamOptions = codec.Options
+
+// StreamCodecStats counts one stream's traffic on either endpoint.
+type StreamCodecStats = codec.StreamStats
+
+// ErrBadFrame marks structural damage to a codec stream's framing.
+// Payload-level damage surfaces as ErrTruncatedPayload, ErrCRCMismatch,
+// ErrCorruptDiff or ErrBadReference instead.
+var ErrBadFrame = codec.ErrBadFrame
+
+// NewStreamEncoder builds a streaming encoder writing to w. A zero
+// Options selects a 1 MB, 8-way dictionary of 64-byte lines, the "lbe"
+// engine, and 32-line frames.
+func NewStreamEncoder(w io.Writer, o StreamOptions) (*StreamEncoder, error) {
+	return codec.NewEncoder(w, o)
+}
+
+// NewStreamDecoder builds a streaming decoder reading from r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder { return codec.NewDecoder(r) }

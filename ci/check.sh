@@ -25,6 +25,11 @@ echo "== obs race loop"
 # hammer it separately (twice, fast) before the long full-suite run.
 go test -race -count=2 ./internal/obs
 
+echo "== streaming codec race loop"
+# The codec's pipelined mode hands frames to a writer goroutine; run the
+# whole package twice under the race detector before the full suite.
+go test -race -count=2 ./internal/codec
+
 echo "== line-cache + cell-memo race loop"
 # The two memoization layers added by the cell-cache work: the workload
 # line cache and the single-flight experiment memo. Fast targeted pass
@@ -55,6 +60,12 @@ echo "== workload-spec parse fuzz smoke"
 # typed errors (ErrInvalid) or a valid workload, never a panic.
 go test -run=NOTHING -fuzz=FuzzParseSpec -fuzztime=10s ./internal/workload/spec
 
+echo "== codec frame-decode fuzz smoke"
+# Short fuzz over the streaming wire format: arbitrary bytes must
+# surface as typed errors (ErrBadFrame or the core payload taxonomy),
+# never a panic, and errors must be sticky across reads.
+go test -run=NOTHING -fuzz=FuzzCodecFrameDecode -fuzztime=10s ./internal/codec
+
 echo "== fault-injected determinism (same seed+rate, any -parallel)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -78,9 +89,16 @@ echo "== trace-export smoke (record -> convert -> validate)"
 go run ./tools/traceexport -in "$tmpdir/t1.json" -o "$tmpdir/trace.json"
 go run ./tools/traceexport -validate "$tmpdir/trace.json"
 
-echo "== bench regression gate (pr5 -> pr6 -> pr8 snapshots)"
+echo "== bench regression gate (pr5 -> pr6 -> pr8 -> pr10 snapshots)"
 go run ./tools/benchjson -compare BENCH_pr5.json BENCH_pr6.json -max-regress 10
 go run ./tools/benchjson -compare BENCH_pr6.json BENCH_pr8.json -max-regress 10
+go run ./tools/benchjson -compare BENCH_pr8.json BENCH_pr10.json -max-regress 10
+
+echo "== cablepipe encode|decode pipe smoke"
+# The codec CLI round trip at the process boundary: encode a real file,
+# decode it back, demand byte identity.
+go run ./cmd/cablepipe -encode -stats <cable.go >"$tmpdir/c.cbl"
+go run ./cmd/cablepipe -decode <"$tmpdir/c.cbl" | cmp - cable.go
 
 echo "== mesh determinism (table+metrics, any -parallel, memo on/off)"
 # The topology engine's bit-identity contract at the CLI surface: the

@@ -124,6 +124,10 @@ type Cache struct {
 	Stats Stats
 }
 
+// rngSeed is the initial xorshift state for PolicyRandom; Reset rewinds
+// to it so a reused cache replays the same way choices as a fresh one.
+const rngSeed = 0x9E3779B97F4A7C15
+
 // New builds a cache; it panics on invalid geometry (a configuration
 // bug, not a runtime condition).
 func New(cfg Config) *Cache {
@@ -136,7 +140,23 @@ func New(cfg Config) *Cache {
 	// pool — see pool.go. This collapses the per-set and per-line
 	// allocations of large caches into recycled slabs.
 	b := getBacking(n, cfg.Ways, cfg.LineSize)
-	return &Cache{cfg: cfg, sets: b.sets, backing: b, rng: 0x9E3779B97F4A7C15}
+	return &Cache{cfg: cfg, sets: b.sets, backing: b, rng: rngSeed}
+}
+
+// Reset invalidates every line and rewinds replacement state and stats
+// to a fresh cache's, keeping the backing arrays (and each slot's data
+// buffer) for reuse. Callers cannot distinguish a Reset cache from a
+// newly built one of the same geometry.
+func (c *Cache) Reset() {
+	for idx := range c.sets {
+		for w := range c.sets[idx] {
+			l := &c.sets[idx][w]
+			*l = Line{Data: l.Data[:0]}
+		}
+	}
+	c.tick = 0
+	c.rng = rngSeed
+	c.Stats = Stats{}
 }
 
 // Config returns the cache geometry.
@@ -276,6 +296,34 @@ func (c *Cache) InsertAt(lineAddr uint64, data []byte, st State, way int) (Evict
 	copy(buf, data)
 	*l = Line{Tag: c.TagOf(lineAddr), State: st, Data: buf, lru: c.tick, valid: true}
 	return ev, evicted
+}
+
+// OverwriteAt installs a line at an explicit way without materializing
+// the displaced line: the previous occupant (if any) still counts as an
+// eviction, but its data is not copied out — the allocation-free
+// sibling of InsertAt for callers that track victims themselves (via
+// LineAddrOf before overwriting) or do not need them. Replacement state
+// advances exactly as InsertAt's does, so interleaving the two keeps
+// policy decisions identical.
+func (c *Cache) OverwriteAt(lineAddr uint64, data []byte, st State, way int) {
+	if len(data) != c.cfg.LineSize {
+		panic(fmt.Sprintf("cache %q: overwrite of %dB line, want %dB", c.cfg.Name, len(data), c.cfg.LineSize))
+	}
+	idx := c.IndexOf(lineAddr)
+	l := &c.sets[idx][way]
+	if l.valid {
+		c.Stats.Evictions++
+	}
+	c.tick++
+	c.rng += 0x2545F4914F6CDD1D
+	buf := l.Data
+	if cap(buf) >= c.cfg.LineSize {
+		buf = buf[:c.cfg.LineSize]
+	} else {
+		buf = make([]byte, c.cfg.LineSize)
+	}
+	copy(buf, data)
+	*l = Line{Tag: c.TagOf(lineAddr), State: st, Data: buf, lru: c.tick, valid: true}
 }
 
 // Insert installs a line at the LRU victim way.

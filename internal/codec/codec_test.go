@@ -1,0 +1,437 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"cable/internal/core"
+)
+
+// testPayload builds len-byte plaintext with cache-line-like structure:
+// runs of word-aligned records whose fields drift slowly, so the CABLE
+// pipeline finds signature matches, plus a noise span to exercise the
+// raw-payload fallback.
+func testPayload(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	base := rng.Uint32()
+	for len(out) < n {
+		switch rng.Intn(4) {
+		case 0: // pointer-ish words drifting from a base
+			for i := 0; i < 16 && len(out) < n; i++ {
+				v := base + uint32(rng.Intn(256))
+				out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		case 1: // zero run
+			for i := 0; i < 32 && len(out) < n; i++ {
+				out = append(out, 0)
+			}
+		case 2: // repeated record
+			rec := make([]byte, 12)
+			rng.Read(rec)
+			for i := 0; i < 8 && len(out) < n; i++ {
+				rec[0] = byte(i)
+				out = append(out, rec...)
+			}
+		default: // noise
+			b := make([]byte, 24)
+			rng.Read(b)
+			out = append(out, b...)
+		}
+	}
+	return out[:n]
+}
+
+// encodeAll runs plaintext through a fresh encoder in chunks of
+// writeChunk bytes and returns the wire image.
+func encodeAll(t *testing.T, plaintext []byte, o Options, writeChunk int) []byte {
+	t.Helper()
+	var wire bytes.Buffer
+	e, err := NewEncoder(&wire, o)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	for off := 0; off < len(plaintext); off += writeChunk {
+		end := off + writeChunk
+		if end > len(plaintext) {
+			end = len(plaintext)
+		}
+		if _, err := e.Write(plaintext[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return wire.Bytes()
+}
+
+func decodeAll(t *testing.T, wire []byte, readChunk int) []byte {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(wire))
+	var out bytes.Buffer
+	buf := make([]byte, readChunk)
+	for {
+		n, err := d.Read(buf)
+		out.Write(buf[:n])
+		if err == io.EOF {
+			return out.Bytes()
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	plaintext := testPayload(64<<10, 1)
+	for _, batch := range []int{1, 5, 32} {
+		for _, extra := range []int{0, 1, 63} { // tail lengths
+			t.Run(fmt.Sprintf("batch=%d/tail=%d", batch, extra), func(t *testing.T) {
+				in := plaintext[:len(plaintext)-64+extra]
+				wire := encodeAll(t, in, Options{Batch: batch}, 1000)
+				got := decodeAll(t, wire, 777)
+				if !bytes.Equal(got, in) {
+					t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(in))
+				}
+			})
+		}
+	}
+}
+
+func TestRoundTripPipelined(t *testing.T) {
+	in := testPayload(128<<10, 2)
+	plain := encodeAll(t, in, Options{}, 4096)
+	piped := encodeAll(t, in, Options{Pipeline: true}, 4096)
+	if !bytes.Equal(plain, piped) {
+		t.Fatal("pipelined wire image differs from direct")
+	}
+	if got := decodeAll(t, piped, 4096); !bytes.Equal(got, in) {
+		t.Fatal("pipelined round trip mismatch")
+	}
+}
+
+func TestRoundTripEngines(t *testing.T) {
+	in := testPayload(32<<10, 3)
+	for _, eng := range []string{"lbe", "bdi", "fpc"} {
+		t.Run(eng, func(t *testing.T) {
+			wire := encodeAll(t, in, Options{Engine: eng}, 4096)
+			if got := decodeAll(t, wire, 4096); !bytes.Equal(got, in) {
+				t.Fatal("round trip mismatch")
+			}
+		})
+	}
+}
+
+func TestRoundTripLineSizes(t *testing.T) {
+	in := testPayload(32<<10, 4)
+	for _, ls := range []int{16, 32, 128} {
+		t.Run(fmt.Sprintf("line=%d", ls), func(t *testing.T) {
+			wire := encodeAll(t, in, Options{LineSize: ls, DictBytes: 64 << 10}, 4096)
+			if got := decodeAll(t, wire, 4096); !bytes.Equal(got, in) {
+				t.Fatal("round trip mismatch")
+			}
+		})
+	}
+}
+
+// TestRawPassthrough feeds incompressible noise and checks the encoder
+// falls back to raw frames — and that later compressible frames can
+// still reference lines installed by raw ones.
+func TestRawPassthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	noise := make([]byte, 32<<10)
+	rng.Read(noise)
+	in := append(append([]byte(nil), noise...), testPayload(32<<10, 6)...)
+
+	var wire bytes.Buffer
+	e, err := NewEncoder(&wire, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.RawFrames == 0 {
+		t.Fatal("no raw frames for pure noise input")
+	}
+	if e.Stats.CableFrames == 0 {
+		t.Fatal("no cable frames for structured input")
+	}
+	if got := decodeAll(t, wire.Bytes(), 4096); !bytes.Equal(got, in) {
+		t.Fatal("round trip mismatch")
+	}
+	if uint64(wire.Len()) != e.Stats.OutBytes {
+		t.Fatalf("OutBytes %d, wire %d", e.Stats.OutBytes, wire.Len())
+	}
+}
+
+// TestEncoderReset checks a Reset encoder emits a byte-identical stream
+// to a fresh one, even after encoding unrelated content first.
+func TestEncoderReset(t *testing.T) {
+	a := testPayload(48<<10, 7)
+	b := testPayload(48<<10, 8)
+
+	fresh := encodeAll(t, b, Options{}, 4096)
+
+	var w1, w2 bytes.Buffer
+	e, err := NewEncoder(&w1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Write(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset(&w2)
+	if _, err := e.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w2.Bytes(), fresh) {
+		t.Fatal("reset encoder wire image differs from fresh encoder")
+	}
+
+	// Decoder reset across the two streams (matching geometry path).
+	d := NewDecoder(bytes.NewReader(w1.Bytes()))
+	got, err := io.ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Fatal("stream 1 mismatch")
+	}
+	d.Reset(bytes.NewReader(w2.Bytes()))
+	if got, err = io.ReadAll(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("stream 2 mismatch after decoder reset")
+	}
+}
+
+// TestDeterminism: two independent encoders over the same stream must
+// produce byte-identical wire images regardless of write chunking.
+func TestDeterminism(t *testing.T) {
+	in := testPayload(64<<10, 9)
+	w1 := encodeAll(t, in, Options{}, 4096)
+	w2 := encodeAll(t, in, Options{}, 123)
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("wire image depends on write chunking")
+	}
+}
+
+func TestFlushMidStream(t *testing.T) {
+	in := testPayload(10_000, 10)
+	var wire bytes.Buffer
+	e, err := NewEncoder(&wire, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Write(in[:5000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mark := wire.Len()
+	if mark == 0 {
+		t.Fatal("flush emitted nothing")
+	}
+	if _, err := e.Write(in[5000:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeAll(t, wire.Bytes(), 512); !bytes.Equal(got, in) {
+		t.Fatal("round trip mismatch across flush")
+	}
+}
+
+// typedDecodeError reports whether err belongs to the documented error
+// taxonomy for corrupted streams.
+func typedDecodeError(err error) bool {
+	return errors.Is(err, ErrBadFrame) ||
+		errors.Is(err, core.ErrTruncatedPayload) ||
+		errors.Is(err, core.ErrCRCMismatch) ||
+		errors.Is(err, core.ErrCorruptDiff) ||
+		errors.Is(err, core.ErrBadReference)
+}
+
+// drainDecoder decodes until EOF or error; corruption may legitimately
+// go unnoticed (a flipped bit inside a raw line changes content, not
+// structure), so the only hard requirements are no panic and, when an
+// error does surface, that it is typed.
+func drainDecoder(t *testing.T, wire []byte) {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(wire))
+	buf := make([]byte, 4096)
+	for {
+		_, err := d.Read(buf)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			if !typedDecodeError(err) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// TestCorruptionExhaustive flips every bit position (stride-sampled for
+// speed) and truncates at every byte boundary of a real stream; the
+// decoder must survive all of it.
+func TestCorruptionExhaustive(t *testing.T) {
+	in := testPayload(4<<10, 11)
+	wire := encodeAll(t, in, Options{Batch: 8, DictBytes: 64 << 10}, 4096)
+
+	for pos := 0; pos < len(wire); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), wire...)
+			mut[pos] ^= 1 << bit
+			drainDecoder(t, mut)
+		}
+	}
+	for cut := 0; cut <= len(wire); cut++ {
+		drainDecoder(t, wire[:cut])
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	wire := encodeAll(t, nil, Options{}, 1)
+	if got := decodeAll(t, wire, 16); len(got) != 0 {
+		t.Fatalf("decoded %d bytes from empty stream", len(got))
+	}
+	// A zero-byte wire is a clean EOF, not an error.
+	d := NewDecoder(bytes.NewReader(nil))
+	if _, err := d.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("empty wire: got %v, want io.EOF", err)
+	}
+}
+
+func TestSubLineStream(t *testing.T) {
+	in := []byte("shorter than one line")
+	wire := encodeAll(t, in, Options{}, 4)
+	if got := decodeAll(t, wire, 4); !bytes.Equal(got, in) {
+		t.Fatal("sub-line round trip mismatch")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	for _, o := range []Options{
+		{LineSize: 13},
+		{LineSize: 8192},
+		{Engine: "no-such-engine-name-that-is-far-too-long!"},
+		{DictBytes: 1 << 30, LineSize: 16, DictWays: 1},
+	} {
+		if _, err := NewEncoder(io.Discard, o); err == nil {
+			t.Fatalf("options %+v accepted", o)
+		}
+	}
+	if _, err := NewEncoder(io.Discard, Options{Engine: "nope"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// countWriter counts bytes without retaining them.
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// TestCodecEncodeAllocs pins the steady-state encode path at zero
+// allocations per Write once the encoder is warm.
+func TestCodecEncodeAllocs(t *testing.T) {
+	in := testPayload(1<<20, 12)
+	e, err := NewEncoder(&countWriter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: grow every scratch buffer to steady-state size.
+	if _, err := e.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	chunk := in[:64<<10]
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := e.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Write allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestCodecDecodeAllocsBounded pins the warm decode path: no more than
+// one alloc per Read call on average (growth paths aside).
+func TestCodecDecodeAllocsBounded(t *testing.T) {
+	in := testPayload(256<<10, 13)
+	wire := encodeAll(t, in, Options{}, 1<<20)
+	d := NewDecoder(bytes.NewReader(wire))
+	if _, err := io.ReadAll(d); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	allocs := testing.AllocsPerRun(10, func() {
+		d.Reset(bytes.NewReader(wire))
+		for {
+			if _, err := d.Read(buf); err != nil {
+				if err == io.EOF {
+					return
+				}
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("warm decode allocates %.1f times per stream, want <= 4", allocs)
+	}
+}
+
+func TestStatsRatioConsistency(t *testing.T) {
+	in := testPayload(128<<10, 14)
+	var wire bytes.Buffer
+	e, err := NewEncoder(&wire, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.InBytes != uint64(len(in)) {
+		t.Fatalf("InBytes %d, want %d", e.Stats.InBytes, len(in))
+	}
+	if e.Stats.OutBytes != uint64(wire.Len()) {
+		t.Fatalf("OutBytes %d, want wire %d", e.Stats.OutBytes, wire.Len())
+	}
+	d := NewDecoder(bytes.NewReader(wire.Bytes()))
+	if _, err := io.ReadAll(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.InBytes != uint64(len(in)) {
+		t.Fatalf("decoder InBytes %d, want %d", d.Stats.InBytes, len(in))
+	}
+	if d.Stats.OutBytes != uint64(wire.Len()) {
+		t.Fatalf("decoder OutBytes %d, want %d", d.Stats.OutBytes, wire.Len())
+	}
+	if e.Stats.Lines != d.Stats.Lines || e.Stats.CableFrames != d.Stats.CableFrames ||
+		e.Stats.RawFrames != d.Stats.RawFrames || e.Stats.TailBytes != d.Stats.TailBytes {
+		t.Fatalf("stats disagree: enc %+v dec %+v", e.Stats, d.Stats)
+	}
+}

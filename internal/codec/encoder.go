@@ -1,0 +1,436 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"cable/internal/bits"
+	"cable/internal/cache"
+	"cable/internal/core"
+)
+
+// Encoder compresses a byte stream through a CABLE link into the
+// chunked wire format. It is an io.Writer with explicit Flush/Close;
+// one Encoder serves one stream at a time, and Reset re-arms it for the
+// next stream without rebuilding its dictionary or tables — Encoders
+// are sync.Pool-friendly.
+//
+// The hot path rides the batched EncodeFills API: Write accumulates
+// lines until a full batch is ready (or consumes full batches straight
+// from the caller's buffer, copy-free), encodes the batch in one call,
+// and frames the guarded payload images. Steady-state encoding
+// allocates nothing.
+type Encoder struct {
+	w   io.Writer
+	opt Options
+
+	dict *cache.Cache
+	he   *core.HomeEnd
+
+	sets, ways       uint64
+	lineSize         int
+	batchBytes       int
+	idxBits, wayBits int
+
+	seq        uint64 // lines committed to the dictionary
+	buf        []byte // pending input (partial batch + partial line)
+	reqs       []core.BatchFill
+	frame      []byte // frame under construction, header reserved at [0:frameHdrLen]
+	mw         bits.Writer
+	headerDone bool
+	closed     bool
+	err        error
+
+	// emitFn is the EncodeFills callback, built once so the per-batch
+	// call does not allocate a closure; it reads the cur* fields.
+	emitFn   func(i int, p core.Payload, lat core.FillLatency)
+	curBlock []byte
+	curBase  uint64
+	curN     int
+
+	pipe *framePipe // non-nil in pipelined mode
+
+	// Stats accumulates this stream's traffic; Reset zeroes it.
+	Stats StreamStats
+}
+
+// NewEncoder builds an encoder writing the encoded stream to w.
+func NewEncoder(w io.Writer, o Options) (*Encoder, error) {
+	o, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	dict := cache.New(dictConfig(o.DictBytes, o.DictWays, o.LineSize))
+	he, err := core.NewHomeEnd(codecConfig(o.Engine), dict, dict)
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		w:          w,
+		opt:        o,
+		dict:       dict,
+		he:         he,
+		sets:       uint64(dict.NumSets()),
+		ways:       uint64(o.DictWays),
+		lineSize:   o.LineSize,
+		batchBytes: o.Batch * o.LineSize,
+		idxBits:    dict.IndexBits(),
+		wayBits:    dict.WayBits(),
+	}
+	e.emitFn = e.emitPayload
+	if o.Pipeline {
+		e.pipe = newFramePipe(w)
+	}
+	return e, nil
+}
+
+// errClosed reports writes after Close.
+var errClosed = errors.New("codec: encoder is closed")
+
+// Write implements io.Writer: it buffers p into lines and encodes every
+// full batch. Write never fails on content — only on underlying writer
+// errors (which are sticky).
+func (e *Encoder) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	if e.closed {
+		return 0, errClosed
+	}
+	n := len(p)
+	e.Stats.InBytes += uint64(n)
+	// Copy-free fast path: with nothing pending, full batches encode
+	// straight out of the caller's buffer.
+	for len(e.buf) == 0 && len(p) >= e.batchBytes {
+		if err := e.encodeLines(p[:e.batchBytes]); err != nil {
+			return n - len(p), err
+		}
+		p = p[e.batchBytes:]
+	}
+	for len(p) > 0 {
+		take := e.batchBytes - len(e.buf)
+		if take > len(p) {
+			take = len(p)
+		}
+		e.buf = append(e.buf, p[:take]...)
+		p = p[take:]
+		if len(e.buf) == e.batchBytes {
+			if err := e.encodeLines(e.buf); err != nil {
+				return n - len(p), err
+			}
+			e.buf = e.buf[:0]
+		}
+	}
+	return n, nil
+}
+
+// Flush encodes every buffered complete line as a (possibly short)
+// frame and blocks until the underlying writer has consumed everything
+// emitted so far. Bytes short of a line stay buffered: only Close can
+// emit them (as the tail frame).
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	full := len(e.buf) / e.lineSize * e.lineSize
+	if full > 0 {
+		if err := e.encodeLines(e.buf[:full]); err != nil {
+			return err
+		}
+		rem := copy(e.buf, e.buf[full:])
+		e.buf = e.buf[:rem]
+	}
+	if e.pipe != nil {
+		if err := e.pipe.drain(); err != nil {
+			e.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered lines, emits the tail frame for any sub-line
+// remainder, and shuts the pipeline down. It does not close the
+// underlying writer. Close is idempotent.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return e.err
+	}
+	if err := e.Flush(); err != nil {
+		e.closed = true
+		e.finishPipe()
+		return err
+	}
+	if err := e.ensureHeader(); err != nil {
+		e.closed = true
+		e.finishPipe()
+		return err
+	}
+	if len(e.buf) > 0 {
+		e.frame = append(e.frame[:0], make([]byte, frameHdrLen)...)
+		e.frame = append(e.frame, e.buf...)
+		e.Stats.TailBytes += uint64(len(e.buf))
+		err := e.emitFrame(kindTail, len(e.buf))
+		e.buf = e.buf[:0]
+		if err != nil {
+			e.closed = true
+			e.finishPipe()
+			return err
+		}
+	}
+	e.closed = true
+	if err := e.finishPipe(); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+func (e *Encoder) finishPipe() error {
+	if e.pipe == nil {
+		return nil
+	}
+	err := e.pipe.stop()
+	e.pipe = nil
+	return err
+}
+
+// Reset discards all stream state — buffered bytes, the dictionary,
+// the link tables, stats, any error — and re-arms the encoder on w. A
+// Reset encoder emits byte-identical output to a newly built one with
+// the same Options, which is what makes pooling instances safe.
+func (e *Encoder) Reset(w io.Writer) {
+	e.finishPipe()
+	e.w = w
+	e.dict.Reset()
+	e.he.Reset()
+	e.seq = 0
+	e.buf = e.buf[:0]
+	e.frame = e.frame[:0]
+	e.headerDone = false
+	e.closed = false
+	e.err = nil
+	e.Stats = StreamStats{}
+	if e.opt.Pipeline {
+		e.pipe = newFramePipe(w)
+	}
+}
+
+// ensureHeader writes the stream header before the first frame.
+func (e *Encoder) ensureHeader() error {
+	if e.headerDone {
+		return nil
+	}
+	hdr := make([]byte, 0, headerFixed+len(e.opt.Engine))
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, version)
+	hdr = append(hdr, byte(e.lineSize), byte(e.lineSize>>8))
+	var s4 [4]byte
+	le32(s4[:], uint32(e.sets))
+	hdr = append(hdr, s4[:]...)
+	hdr = append(hdr, byte(e.ways), byte(len(e.opt.Engine)))
+	hdr = append(hdr, e.opt.Engine...)
+	e.headerDone = true
+	return e.writeOut(hdr)
+}
+
+// installLine commits line s to the dictionary: scrub the displaced
+// occupant from the link tables (the home-side half of the §III-F
+// synchronization), then overwrite the slot in place. The decoder
+// performs the same install — minus the table scrub, which only the
+// compressing side needs — from the decoded bytes.
+func (e *Encoder) installLine(s uint64, data []byte) {
+	slot := slotOf(s, e.sets, e.ways)
+	if victim, ok := e.dict.LineAddrOf(slot); ok {
+		e.he.OnHomeEviction(victim)
+	}
+	e.dict.OverwriteAt(s, data, cache.Shared, slot.Way)
+}
+
+// emitPayload is the EncodeFills callback: marshal payload i into the
+// frame, then install line i+1 — the exact point between line i's
+// structural mutations and line i+1's probe where the batch path
+// guarantees sequential equivalence.
+func (e *Encoder) emitPayload(i int, p core.Payload, _ core.FillLatency) {
+	enc := p.MarshalGuardedInto(&e.mw, e.idxBits, e.wayBits)
+	if enc.NBits > 0xFFFF {
+		// Unreachable for any supported lineSize/engine (see
+		// maxLineSize); guard the u16 field anyway.
+		if e.err == nil {
+			e.err = fmt.Errorf("codec: %d-bit payload overflows frame entry", enc.NBits)
+		}
+		return
+	}
+	e.frame = append(e.frame, byte(enc.NBits), byte(enc.NBits>>8))
+	e.frame = append(e.frame, enc.Data[:(enc.NBits+7)/8]...)
+	if i+1 < e.curN {
+		off := (i + 1) * e.lineSize
+		e.installLine(e.curBase+uint64(i+1), e.curBlock[off:off+e.lineSize])
+	}
+}
+
+// encodeLines encodes a block of 1..Batch complete lines as one frame.
+func (e *Encoder) encodeLines(block []byte) error {
+	if err := e.ensureHeader(); err != nil {
+		return err
+	}
+	n := len(block) / e.lineSize
+	e.curBlock, e.curBase, e.curN = block, e.seq, n
+	e.reqs = e.reqs[:0]
+	for i := 0; i < n; i++ {
+		s := e.seq + uint64(i)
+		e.reqs = append(e.reqs, core.BatchFill{
+			LineAddr: s,
+			State:    cache.Shared,
+			ReplWay:  slotOf(s, e.sets, e.ways).Way,
+		})
+	}
+	e.frame = append(e.frame[:0], make([]byte, frameHdrLen)...)
+	e.installLine(e.seq, block[:e.lineSize])
+	if err := e.he.EncodeFills(e.reqs, e.emitFn); err != nil {
+		e.err = err
+		return err
+	}
+	if e.err != nil {
+		return e.err
+	}
+	e.seq += uint64(n)
+	e.Stats.Lines += uint64(n)
+	if len(e.frame)-frameHdrLen >= n*e.lineSize {
+		// Incompressible span: the payload framing costs at least as
+		// much as the lines themselves, so pass them through raw. The
+		// link tables already absorbed the batch identically, and the
+		// decoder installs raw lines at the same slots, so dictionary
+		// sync holds either way.
+		e.frame = append(e.frame[:0], make([]byte, frameHdrLen)...)
+		for i := 0; i < n; i++ {
+			line := e.dict.ReadByID(slotOf(e.curBase+uint64(i), e.sets, e.ways))
+			e.frame = append(e.frame, line.Data...)
+		}
+		e.Stats.RawFrames++
+		return e.emitFrame(kindRaw, n)
+	}
+	e.Stats.CableFrames++
+	return e.emitFrame(kindCable, n)
+}
+
+// emitFrame stamps the reserved header of e.frame and ships it.
+func (e *Encoder) emitFrame(kind byte, count int) error {
+	body := len(e.frame) - frameHdrLen
+	e.frame[0] = kind
+	le16(e.frame[1:3], uint16(count))
+	le32(e.frame[3:7], uint32(body))
+	return e.writeOut(e.frame)
+}
+
+// writeOut ships one buffer: directly, or through the pipeline (which
+// swaps e.frame for a recycled buffer so encoding can continue while
+// the writer goroutine drains).
+func (e *Encoder) writeOut(buf []byte) error {
+	e.Stats.OutBytes += uint64(len(buf))
+	if e.pipe != nil {
+		next, err := e.pipe.send(buf)
+		if err != nil {
+			e.err = err
+			return err
+		}
+		if len(e.frame) > 0 && &buf[0] == &e.frame[0] {
+			e.frame = next
+		}
+		return nil
+	}
+	if _, err := e.w.Write(buf); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// framePipe is the optional emission pipeline: a writer goroutine and a
+// two-buffer rotation, so the encoder fills the next frame while the
+// previous one is being written. Frames are written strictly in send
+// order, so pipelined output is byte-identical to direct output.
+type framePipe struct {
+	ch   chan pipeMsg
+	free chan []byte
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+type pipeMsg struct {
+	buf []byte
+	ack chan struct{}
+}
+
+func newFramePipe(w io.Writer) *framePipe {
+	p := &framePipe{
+		ch:   make(chan pipeMsg, 1),
+		free: make(chan []byte, 2),
+		done: make(chan struct{}),
+	}
+	p.free <- nil // second rotation buffer, grown on first use
+	go func() {
+		defer close(p.done)
+		for m := range p.ch {
+			if m.buf != nil {
+				if p.fail() == nil {
+					if _, err := w.Write(m.buf); err != nil {
+						p.setErr(err)
+					}
+				}
+				select {
+				case p.free <- m.buf:
+				default:
+				}
+			}
+			if m.ack != nil {
+				close(m.ack)
+			}
+		}
+	}()
+	return p
+}
+
+func (p *framePipe) fail() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *framePipe) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// send ships buf and returns a recycled buffer (length 0) for the
+// caller's next frame.
+func (p *framePipe) send(buf []byte) ([]byte, error) {
+	p.ch <- pipeMsg{buf: buf}
+	next := <-p.free
+	if next == nil {
+		next = make([]byte, 0, cap(buf))
+	}
+	return next[:0], p.fail()
+}
+
+// drain blocks until every sent frame has been written.
+func (p *framePipe) drain() error {
+	ack := make(chan struct{})
+	p.ch <- pipeMsg{ack: ack}
+	<-ack
+	return p.fail()
+}
+
+// stop drains and terminates the writer goroutine.
+func (p *framePipe) stop() error {
+	close(p.ch)
+	<-p.done
+	return p.fail()
+}

@@ -45,6 +45,15 @@ func NewLZSS(name string, window int) *LZSS {
 // Name implements StreamEngine.
 func (z *LZSS) Name() string { return z.name }
 
+// Reset empties the window so the compressor can start a fresh stream,
+// keeping its buffers. A Reset compressor emits byte-identical output
+// to a newly built one.
+func (z *LZSS) Reset() {
+	z.history = z.history[:0]
+	clear(z.head)
+	z.base = 0
+}
+
 // Window returns the configured window size in bytes.
 func (z *LZSS) Window() int { return z.window }
 
@@ -192,6 +201,11 @@ type LZSSDecoder struct {
 // compressor with the same window.
 func NewLZSSDecoder(window int) *LZSSDecoder {
 	return &LZSSDecoder{window: window}
+}
+
+// Reset empties the decoder window for a fresh stream.
+func (z *LZSSDecoder) Reset() {
+	z.history = z.history[:0]
 }
 
 // Decompress implements StreamDecoder.

@@ -147,6 +147,83 @@ func UnmarshalPayload(enc compress.Encoded, idxBits, wayBits, lineSize int) (Pay
 	return p, nil
 }
 
+// PayloadScratch holds the reusable buffers of the allocation-free
+// unmarshal path. One scratch belongs to one decoded payload at a time:
+// the payload written by UnmarshalPayloadScratch aliases it and is valid
+// until the scratch's next use. Callers that decode batches keep one
+// scratch per in-flight payload.
+type PayloadScratch struct {
+	refs []cache.LineID
+	raw  []byte
+	diff bits.Writer
+}
+
+// UnmarshalPayloadScratch is UnmarshalPayload into caller scratch: the
+// parsed payload is written through p and aliases s, so steady-state
+// decodes allocate nothing once the scratch has grown to payload size.
+func UnmarshalPayloadScratch(p *Payload, s *PayloadScratch, enc compress.Encoded, idxBits, wayBits, lineSize int) error {
+	*p = Payload{}
+	r := enc.Reader()
+	flag, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("core: empty payload: %w: %w", ErrTruncatedPayload, err)
+	}
+	if flag == 0 {
+		s.raw, err = r.AppendBytes(s.raw[:0], lineSize)
+		if err != nil {
+			return fmt.Errorf("core: raw payload: %w: %w", ErrTruncatedPayload, err)
+		}
+		p.Raw = s.raw
+		return nil
+	}
+	n, err := r.ReadBits(refCountBits)
+	if err != nil {
+		return fmt.Errorf("core: refcount: %w: %w", ErrTruncatedPayload, err)
+	}
+	p.Compressed = true
+	s.refs = s.refs[:0]
+	for i := 0; i < int(n); i++ {
+		idx, err := r.ReadBits(idxBits)
+		if err != nil {
+			return fmt.Errorf("core: ref %d index: %w: %w", i, ErrTruncatedPayload, err)
+		}
+		way, err := r.ReadBits(wayBits)
+		if err != nil {
+			return fmt.Errorf("core: ref %d way: %w: %w", i, ErrTruncatedPayload, err)
+		}
+		s.refs = append(s.refs, cache.LineID{Index: int(idx), Way: int(way)})
+	}
+	if len(s.refs) > 0 {
+		p.Refs = s.refs
+	}
+	nbits := r.Remaining()
+	s.diff.Reset()
+	s.diff.CopyRemaining(r)
+	p.Diff = compress.Encoded{Data: s.diff.Bytes(), NBits: nbits}
+	return nil
+}
+
+// UnmarshalPayloadGuardedScratch is UnmarshalPayloadGuarded into caller
+// scratch (see UnmarshalPayloadScratch).
+func UnmarshalPayloadGuardedScratch(p *Payload, s *PayloadScratch, enc compress.Encoded, idxBits, wayBits, lineSize int) error {
+	if enc.NBits < crcBits+flagBits {
+		return fmt.Errorf("core: %d-bit image below guard size: %w", enc.NBits, ErrTruncatedPayload)
+	}
+	if enc.NBits > 8*len(enc.Data) {
+		return fmt.Errorf("core: %d-bit image in %d-byte buffer: %w", enc.NBits, len(enc.Data), ErrTruncatedPayload)
+	}
+	bodyBits := enc.NBits - crcBits
+	var got byte
+	for i := 0; i < crcBits; i++ {
+		pos := bodyBits + i
+		got = got<<1 | enc.Data[pos/8]>>(7-uint(pos%8))&1
+	}
+	if want := crc8Image(enc.Data, bodyBits); got != want {
+		return fmt.Errorf("core: guard %#02x, image CRC %#02x: %w", got, want, ErrCRCMismatch)
+	}
+	return UnmarshalPayloadScratch(p, s, compress.Encoded{Data: enc.Data, NBits: bodyBits}, idxBits, wayBits, lineSize)
+}
+
 // UnmarshalPayloadGuarded verifies and strips the CRC-8 guard appended
 // by MarshalGuarded, then parses the remaining image. A failed check
 // returns a wrapped ErrCRCMismatch; an image too short to carry the

@@ -1,0 +1,57 @@
+package core
+
+// This file is the in-place reset layer: every structure a link end
+// owns can rewind to its freshly-constructed state without giving its
+// backing arrays up. Release (pool.go) is for ends that are done for
+// good; Reset is for ends that are about to run another stream — the
+// streaming codec pools whole Encoder/Decoder instances across
+// connections, and rebuilding multi-megabyte tables per stream would
+// dwarf the per-stream work.
+
+// Reset clears every bucket and zeroes the stats, keeping the backing
+// array. A Reset table is indistinguishable from a newly built one of
+// the same geometry.
+func (h *HashTable) Reset() {
+	clear(h.entries)
+	h.Inserts, h.Removes, h.Lookups, h.Collisions = 0, 0, 0, 0
+}
+
+// Reset invalidates every slot and zeroes the stats, keeping the
+// backing array.
+func (w *WMT) Reset() {
+	clear(w.entries)
+	w.Hits, w.Misses = 0, 0
+}
+
+// Reset drops every pending record and rewinds the sequence counter, so
+// the next Add issues EvictSeq 1 again.
+func (b *EvictionBuffer) Reset() {
+	clear(b.pending)
+	b.nextSeq = 0
+	b.Inserted, b.Rescued = 0, 0
+}
+
+// Reset rewinds the home end to its post-construction state: empty hash
+// table, empty (private) way-map, zero AckSeq and stats. Scratch
+// buffers and the memoized threshold table survive — they are
+// content-independent — so a Reset end encodes with warm capacity. A
+// shared way-map (SuperWMT view) is left untouched: it outlives any
+// single link.
+func (h *HomeEnd) Reset() {
+	h.ht.Reset()
+	if w, ok := h.wmt.(*WMT); ok {
+		w.Reset()
+	}
+	h.AckSeq = 0
+	h.Stats = HomeStats{}
+	h.lastSigs, h.lastCands, h.lastSkip = 0, 0, false
+}
+
+// Reset rewinds the remote end to its post-construction state: empty
+// hash table, empty eviction buffer, zero stats. Scratch buffers
+// survive.
+func (r *RemoteEnd) Reset() {
+	r.ht.Reset()
+	r.evbuf.Reset()
+	r.Stats = RemoteStats{}
+}

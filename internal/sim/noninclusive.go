@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"cable/internal/bits"
 	"cable/internal/cache"
 	"cable/internal/compress"
 	"cable/internal/core"
@@ -125,15 +126,20 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	}
 	// rawResend recovers a failed decode with an uncompressed raw
 	// re-transfer, delivered clean and charged on top of the attempt.
+	// mw is the run's marshal scratch: every wire image is consumed
+	// (sent + corrupted + unmarshaled) before the next marshal, so one
+	// buffer serves the whole serial access loop instead of allocating
+	// per transfer.
+	var mw bits.Writer
 	rawResend := func(data []byte, ackSeq uint64) int {
 		res.RawFallbacks++
 		degrade().rawFallbacks.Inc(dshard)
 		p := core.Payload{Raw: data, AckSeq: ackSeq}
 		var enc compress.Encoded
 		if injector != nil {
-			enc = p.MarshalGuarded(remote.IndexBits(), remote.WayBits())
+			enc = p.MarshalGuardedInto(&mw, remote.IndexBits(), remote.WayBits())
 		} else {
-			enc = p.Marshal(remote.IndexBits(), remote.WayBits())
+			enc = p.MarshalInto(&mw, remote.IndexBits(), remote.WayBits())
 		}
 		wire := lnk.SendWire(enc.Data, enc.NBits)
 		if rec != nil {
@@ -145,7 +151,7 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 	// pipeline; see Chip.corruptAndDecode for the accounting contract.
 	corruptAndDecode := func(p core.Payload, want []byte, lineAddr uint64,
 		decode func(core.Payload) ([]byte, error)) (wire int, derr error) {
-		enc := p.MarshalGuarded(remote.IndexBits(), remote.WayBits())
+		enc := p.MarshalGuardedInto(&mw, remote.IndexBits(), remote.WayBits())
 		wire = lnk.SendWire(enc.Data, enc.NBits)
 		nb, corrupted := injector.Corrupt(enc.Data, enc.NBits)
 		var got []byte
@@ -177,7 +183,7 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 		}
 		return wire, derr
 	}
-	writeVersions := map[uint64]uint32{}
+	writeVersions := writeVersionPool.Get().(map[uint64]uint32)
 	mutate := func(data []byte, addr uint64) {
 		v := writeVersions[addr]
 		writeVersions[addr] = v + 1
@@ -260,7 +266,7 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 					if err == nil && cfg.Verify && !bytes.Equal(got, ev.Data) {
 						panic(fmt.Sprintf("sim: non-inclusive WB corrupted %#x", ev.LineAddr))
 					}
-					enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+					enc := p.MarshalInto(&mw, remote.IndexBits(), remote.WayBits())
 					wire = lnk.SendWire(enc.Data, enc.NBits)
 					if err != nil {
 						res.DecodeErrors++
@@ -332,7 +338,7 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 			if derr == nil && cfg.Verify && !bytes.Equal(got, data) {
 				panic(fmt.Sprintf("sim: non-inclusive fill corrupted %#x", a.LineAddr))
 			}
-			enc := p.Marshal(remote.IndexBits(), remote.WayBits())
+			enc := p.MarshalInto(&mw, remote.IndexBits(), remote.WayBits())
 			wire = lnk.SendWire(enc.Data, enc.NBits)
 			if derr != nil {
 				res.DecodeErrors++
@@ -353,5 +359,15 @@ func RunNonInclusive(cfg NonInclusiveConfig) (*NonInclusiveResult, error) {
 			mutate(l.Data, a.LineAddr)
 		}
 	}
+	// Recycle the run's state: the write-version map returns to its pool
+	// and the CABLE-end tables and cache backings go back to the shared
+	// pools, so fault soaks and sweeps that run many non-inclusive cells
+	// stop re-growing the same multi-megabyte allocations per cell.
+	clear(writeVersions)
+	writeVersionPool.Put(writeVersions)
+	he.Release()
+	re.Release()
+	remote.Release()
+	home.Release()
 	return res, nil
 }
